@@ -1,0 +1,99 @@
+// Experiment E4 — checkpoint machinery ablation (paper §2.2):
+//   "Creating checkpoints by making full copies of the abstract state would
+//    be too expensive. Instead, the library uses copy-on-write..."
+//
+// Sweeps the checkpoint period k with copy-on-write vs full-copy
+// checkpoints on a write-heavy workload, reporting total time, snapshot
+// bytes held, and the number of object copies taken.
+#include "bench/bench_common.h"
+#include "src/base/kv_adapter.h"
+
+using namespace bftbase;
+
+namespace {
+
+constexpr size_t kSlots = 4096;
+
+struct RunResult {
+  SimTime total_us = 0;
+  uint64_t cow_copies = 0;
+  size_t cow_bytes_peak = 0;
+  bool ok = true;
+};
+
+RunResult RunLoad(SeqNum checkpoint_interval, bool full_copy, uint64_t seed) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = checkpoint_interval;
+  params.config.log_window = 2 * checkpoint_interval;
+  params.seed = seed;
+  params.service.full_copy_checkpoints = full_copy;
+
+  ServiceGroup group(params, [](Simulation* sim, NodeId) {
+    return std::make_unique<KvAdapter>(sim, kSlots);
+  });
+
+  // Preload every slot so full-copy checkpoints carry real weight.
+  Bytes blob(512, 0x42);
+  Rng rng(seed);
+  RunResult result;
+  for (int i = 0; i < 64; ++i) {
+    auto r = group.Invoke(KvAdapter::EncodeSet(
+        static_cast<uint32_t>(rng.NextBelow(kSlots)), blob));
+    if (!r.ok()) {
+      result.ok = false;
+      return result;
+    }
+  }
+  group.sim().RunUntil(group.sim().Now() + kSecond);
+
+  SimTime start = group.sim().Now();
+  const int kOps = 400;
+  for (int i = 0; i < kOps; ++i) {
+    auto r = group.Invoke(KvAdapter::EncodeSet(
+        static_cast<uint32_t>(rng.NextBelow(kSlots)), blob));
+    if (!r.ok()) {
+      result.ok = false;
+      return result;
+    }
+    result.cow_bytes_peak = std::max(
+        result.cow_bytes_peak, group.service(0).checkpoints().CowBytes());
+  }
+  result.total_us = group.sim().Now() - start;
+  result.cow_copies = group.service(0).checkpoints().cow_copies_taken();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "E4: copy-on-write vs full-copy checkpoints (400 writes over 4096 "
+      "objects x 512B)");
+
+  Table table({"k", "mode", "total (ms)", "us/op", "peak snapshot bytes",
+               "object copies"});
+  for (SeqNum k : {16u, 64u, 128u, 256u}) {
+    RunResult cow = RunLoad(k, /*full_copy=*/false, 100 + k);
+    RunResult full = RunLoad(k, /*full_copy=*/true, 200 + k);
+    if (!cow.ok || !full.ok) {
+      std::printf("run failed for k=%llu\n",
+                  static_cast<unsigned long long>(k));
+      return 1;
+    }
+    table.AddRow({FormatCount(k), "cow", FormatMs(cow.total_us),
+                  FormatUs(cow.total_us / 400),
+                  FormatCount(cow.cow_bytes_peak),
+                  FormatCount(cow.cow_copies)});
+    table.AddRow({FormatCount(k), "full", FormatMs(full.total_us),
+                  FormatUs(full.total_us / 400),
+                  FormatCount(full.cow_bytes_peak),
+                  FormatCount(full.cow_copies)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: full-copy cost grows with state size and checkpoint\n"
+      "frequency; copy-on-write tracks only the objects actually modified\n"
+      "between checkpoints, so its cost is flat in the state size.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Experiment E9 — conformance-wrapper simplicity (paper §4):
+//   "The conformance wrapper and the state conversion functions in our
+//    prototype are simple — they have 1105 semicolons, which is two orders
+//    of magnitude less than the size of the Linux 2.2 kernel."
+//
+// Counts semicolons (the paper's metric) per module of this repository at
+// run time and reproduces the comparison: the wrapper + state conversion
+// code is a small fraction of the systems it protects against.
+#include <dirent.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace bftbase;
+
+namespace {
+
+#ifndef BASE_SOURCE_DIR
+#define BASE_SOURCE_DIR "."
+#endif
+
+size_t CountSemicolonsInFile(const std::string& path) {
+  std::ifstream in(path);
+  size_t count = 0;
+  char c;
+  while (in.get(c)) {
+    if (c == ';') {
+      ++count;
+    }
+  }
+  return count;
+}
+
+struct DirCount {
+  size_t semicolons = 0;
+  size_t files = 0;
+};
+
+DirCount CountDir(const std::string& dir) {
+  DirCount total;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return total;
+  }
+  dirent* entry;
+  while ((entry = readdir(d)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name.size() > 3 &&
+        (name.substr(name.size() - 3) == ".cc" ||
+         name.substr(name.size() - 2) == ".h")) {
+      total.semicolons += CountSemicolonsInFile(dir + "/" + name);
+      ++total.files;
+    }
+  }
+  closedir(d);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E9: code-size accounting (semicolons, the paper's metric)");
+  std::string root = BASE_SOURCE_DIR;
+
+  struct Module {
+    const char* label;
+    const char* dir;
+    bool wrapper;
+  };
+  std::vector<Module> modules = {
+      {"basefs wrapper + conversions", "src/basefs", true},
+      {"oodb wrapper + conversions", "src/oodb", true},
+      {"BASE library (base)", "src/base", false},
+      {"BFT library (bft)", "src/bft", false},
+      {"wrapped file systems (fs)", "src/fs", false},
+      {"simulation substrate (sim)", "src/sim", false},
+      {"crypto substrate", "src/crypto", false},
+      {"util substrate", "src/util", false},
+  };
+
+  Table table({"module", "files", "semicolons"});
+  size_t wrapper_total = 0;
+  size_t grand_total = 0;
+  for (const Module& module : modules) {
+    DirCount count = CountDir(root + "/" + module.dir);
+    if (count.files == 0) {
+      std::printf("warning: no sources under %s/%s (run from repo root or "
+                  "a configured build)\n",
+                  root.c_str(), module.dir);
+    }
+    table.AddRow({module.label, FormatCount(count.files),
+                  FormatCount(count.semicolons)});
+    grand_total += count.semicolons;
+    if (module.wrapper) {
+      wrapper_total += count.semicolons;
+    }
+  }
+  table.Print();
+
+  std::printf("\nwrapper + state-conversion code: %zu semicolons "
+              "(paper's prototype: 1105)\n",
+              wrapper_total);
+  std::printf("total repository: %zu semicolons; the wrappers are %.0f%% of "
+              "it —\n"
+              "and orders of magnitude smaller than the off-the-shelf "
+              "systems they reuse\n"
+              "(Linux 2.2: ~10^6 semicolons).\n",
+              grand_total,
+              100.0 * static_cast<double>(wrapper_total) /
+                  static_cast<double>(grand_total == 0 ? 1 : grand_total));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared helpers for the benchmark binaries: standard configurations and
+// plain-text table printing, so every bench emits the same style of output
+// EXPERIMENTS.md quotes.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/service_group.h"
+
+namespace bftbase {
+
+inline ServiceGroup::Params StandardParams(uint64_t seed) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 128;  // the paper's k = 128
+  params.config.log_window = 256;
+  params.seed = seed;
+  return params;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::string rule;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatMs(SimTime us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+inline std::string FormatUs(SimTime us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(us));
+  return buf;
+}
+
+inline std::string FormatRatio(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+inline std::string FormatPercent(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", r * 100.0);
+  return buf;
+}
+
+inline std::string FormatCount(uint64_t n) { return std::to_string(n); }
+
+}  // namespace bftbase
+
+#endif  // BENCH_BENCH_COMMON_H_

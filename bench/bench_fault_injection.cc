@@ -1,0 +1,100 @@
+// Experiment E7 — fault injection (the paper's §4 closes by calling for
+// "fault injection experiments to evaluate the availability improvements
+// afforded by our technique"; this bench runs them).
+//
+// Scenarios over a heterogeneous BASEFS group with a correctness oracle:
+// crash+restart of a backup, crash of the primary, Byzantine replies,
+// silent state corruption (with and without a subsequent recovery), and a
+// combined storm. Availability = fraction of foreground operations that
+// completed; the oracle flags any wrong-but-accepted result.
+#include "bench/bench_common.h"
+#include "src/basefs/basefs_group.h"
+#include "src/basefs/fs_session.h"
+#include "src/workload/fault_injector.h"
+
+using namespace bftbase;
+
+namespace {
+
+FaultScenarioResult RunScenario(const std::string& name,
+                                std::vector<FaultEvent> schedule,
+                                uint64_t seed, Table& table) {
+  auto params = StandardParams(seed);
+  params.config.checkpoint_interval = 32;
+  params.config.log_window = 64;
+  auto group = MakeBasefsGroup(
+      params,
+      {FsVendor::kLinear, FsVendor::kTree, FsVendor::kLog, FsVendor::kLinear},
+      512);
+  ReplicatedFsSession fs(group.get(), 0, 300 * kSecond);
+  FaultScenarioConfig config;
+  config.schedule = std::move(schedule);
+  config.operations = 120;
+  config.op_gap = 50 * kMillisecond;
+  config.seed = seed;
+  FaultScenarioResult result = RunFaultScenario(*group, fs, config);
+  table.AddRow({name,
+                FormatPercent(result.Availability()),
+                FormatUs(result.mean_latency_us),
+                FormatMs(result.max_latency_us),
+                FormatCount(result.view_changes),
+                FormatCount(result.recoveries),
+                result.wrong_result_observed ? "YES (BUG!)" : "no"});
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E7: fault injection over heterogeneous BASEFS (120 ops each)");
+  Table table({"scenario", "availability", "mean lat (us)", "max lat (ms)",
+               "view changes", "recoveries", "wrong results"});
+
+  RunScenario("no faults", {}, 601, table);
+
+  RunScenario("backup crash 10s",
+              {{500 * kMillisecond, FaultKind::kCrashRestart, 2,
+                10 * kSecond}},
+              602, table);
+
+  RunScenario("primary crash 10s",
+              {{500 * kMillisecond, FaultKind::kCrashRestart, 0,
+                10 * kSecond}},
+              603, table);
+
+  RunScenario("byzantine replies 20s",
+              {{200 * kMillisecond, FaultKind::kByzantineReplies, 1,
+                20 * kSecond}},
+              604, table);
+
+  RunScenario("corrupt state (latent)",
+              {{200 * kMillisecond, FaultKind::kCorruptState, 3, 0}},
+              605, table);
+
+  RunScenario("corrupt state + recovery",
+              {{200 * kMillisecond, FaultKind::kCorruptState, 3, 0},
+               {1 * kSecond, FaultKind::kProactiveRecovery, 3, 0}},
+              606, table);
+
+  RunScenario("daemon restart (volatile fhs)",
+              {{300 * kMillisecond, FaultKind::kDaemonRestart, 1, 0}},
+              607, table);
+
+  RunScenario("storm: crash + byzantine + corruption",
+              {{200 * kMillisecond, FaultKind::kCorruptState, 3, 0},
+               {400 * kMillisecond, FaultKind::kByzantineReplies, 1,
+                15 * kSecond},
+               {600 * kMillisecond, FaultKind::kCrashRestart, 2,
+                8 * kSecond}},
+              608, table);
+
+  table.Print();
+  std::printf(
+      "\nexpected shape: availability stays at/near 100%% with f=1 faults of\n"
+      "any kind; a primary crash costs one view-change latency spike; no\n"
+      "scenario may ever produce a wrong result.\n"
+      "NOTE: the storm scenario exceeds f=1 only in *benign* dimensions\n"
+      "(the corrupt replica still follows the protocol), which is exactly\n"
+      "the case the paper argues abstraction can survive.\n");
+  return 0;
+}

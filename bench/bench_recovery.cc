@@ -1,0 +1,137 @@
+// Experiment E6 — proactive recovery / software rejuvenation (paper
+// §2.2, §3.4): recovery duration vs state size, service availability during
+// staggered rotation, and the window of vulnerability.
+#include "bench/bench_common.h"
+#include "src/base/kv_adapter.h"
+#include "src/basefs/basefs_group.h"
+#include "src/basefs/fs_session.h"
+
+using namespace bftbase;
+
+namespace {
+
+// Recovery duration as a function of abstract-state size. The recovering
+// replica rebuilds from its own saved copy (no corruption), so only the
+// save/reboot/verify path is measured — the paper's "frequent recoveries
+// are cheap" claim.
+void RecoveryDurationSweep() {
+  std::printf("\n-- recovery duration vs state size (clean replica) --\n");
+  Table table({"objects", "state bytes", "recovery (s)", "fetched",
+               "from local disk"});
+  for (size_t objects : {1024u, 4096u, 16384u}) {
+    ServiceGroup::Params params;
+    params.config.f = 1;
+    params.config.checkpoint_interval = 16;
+    params.config.log_window = 32;
+    params.seed = 500 + objects;
+    ServiceGroup group(params, [objects](Simulation* sim, NodeId) {
+      return std::make_unique<KvAdapter>(sim, objects);
+    });
+    Bytes blob(256, 0x11);
+    size_t state_bytes = 0;
+    for (uint32_t i = 0; i < objects; i += 8) {
+      if (!group.Invoke(KvAdapter::EncodeSet(i, blob)).ok()) {
+        std::printf("load failed\n");
+        return;
+      }
+      state_bytes += blob.size();
+    }
+    group.sim().RunUntil(group.sim().Now() + 5 * kSecond);
+
+    group.replica(2).StartProactiveRecovery();
+    if (!group.sim().RunUntilTrue(
+            [&] { return group.replica(2).recoveries_completed() == 1; },
+            group.sim().Now() + 900 * kSecond)) {
+      std::printf("recovery did not complete\n");
+      return;
+    }
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%.2f",
+                  static_cast<double>(
+                      group.replica(2).last_recovery_duration()) /
+                      kSecond);
+    table.AddRow({FormatCount(objects), FormatCount(state_bytes), secs,
+                  FormatCount(group.service(2).state_transfer()
+                                  .leaves_fetched()),
+                  FormatCount(group.service(2).state_transfer()
+                                  .leaves_from_local_source())});
+  }
+  table.Print();
+}
+
+// Availability of the file service while the whole group rotates through
+// staggered recoveries.
+void AvailabilityDuringRotation() {
+  std::printf("\n-- availability during a full staggered rotation --\n");
+  auto params = StandardParams(77);
+  params.config.checkpoint_interval = 32;
+  params.config.log_window = 64;
+  auto group = MakeBasefsGroup(
+      params,
+      {FsVendor::kLinear, FsVendor::kTree, FsVendor::kLog, FsVendor::kLinear},
+      512);
+  ReplicatedFsSession fs(group.get(), 0, 120 * kSecond);
+  auto file = fs.Create(fs.Root(), "probe");
+  if (!file.ok()) {
+    std::printf("setup failed\n");
+    return;
+  }
+  fs.Write(*file, 0, ToBytes("probe-data"));
+
+  const SimTime period = 6 * kMinute;
+  group->EnableProactiveRecovery(period);
+  int attempted = 0;
+  int succeeded = 0;
+  SimTime worst = 0;
+  while (true) {
+    uint64_t recoveries = 0;
+    for (int r = 0; r < group->replica_count(); ++r) {
+      recoveries += group->replica(r).recoveries_completed();
+    }
+    if (recoveries >= 4) {
+      break;
+    }
+    SimTime start = group->sim().Now();
+    auto data = fs.Read(*file, 0, 64);
+    ++attempted;
+    if (data.ok()) {
+      ++succeeded;
+    }
+    worst = std::max(worst, group->sim().Now() - start);
+    group->sim().RunUntil(group->sim().Now() + 5 * kSecond);
+  }
+  std::printf("probe reads during rotation: %d/%d succeeded, worst latency "
+              "%.0f ms\n",
+              succeeded, attempted, static_cast<double>(worst) / 1000.0);
+  std::printf("window of vulnerability Tv = 2Tk + Tr = %.0f min at a %.0f "
+              "min recovery period\n",
+              static_cast<double>(
+                  ServiceGroup::WindowOfVulnerability(period)) /
+                  kMinute,
+              static_cast<double>(period) / kMinute);
+}
+
+void WindowOfVulnerabilityTable() {
+  std::printf("\n-- window of vulnerability vs recovery period --\n");
+  Table table({"recovery period (min)", "Tv = 2Tk + Tr (min)"});
+  for (int minutes : {2, 4, 6, 10, 17, 30}) {
+    char tv[32];
+    std::snprintf(tv, sizeof(tv), "%.1f",
+                  static_cast<double>(ServiceGroup::WindowOfVulnerability(
+                      minutes * kMinute)) /
+                      kMinute);
+    table.AddRow({FormatCount(minutes), tv});
+  }
+  table.Print();
+  std::printf("the paper's Andrew run used Tv = 17 min (period ~5.7 min).\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E6: proactive recovery — duration, availability, Tv");
+  RecoveryDurationSweep();
+  AvailabilityDuringRotation();
+  WindowOfVulnerabilityTable();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Software rejuvenation through proactive recovery (paper §2.2 / §3.4).
+//
+// Replica 2 runs the leaky log-structured LogFs. The example runs load,
+// shows the daemon's memory footprint aging upward, then lets the staggered
+// recovery watchdogs reboot each replica from a clean state — the leak
+// vanishes while the service keeps answering requests.
+//
+//   $ ./proactive_recovery
+#include <cstdio>
+
+#include "src/basefs/basefs_group.h"
+#include "src/basefs/conformance_wrapper.h"
+#include "src/basefs/fs_session.h"
+#include "src/fs/log_fs.h"
+
+using namespace bftbase;
+
+namespace {
+
+size_t LogFsLeak(ServiceGroup& group, int replica) {
+  auto* wrapper =
+      static_cast<FsConformanceWrapper*>(group.adapter(replica));
+  auto* logfs = dynamic_cast<LogFs*>(wrapper->wrapped_fs());
+  return logfs != nullptr ? logfs->leaked_bytes() : 0;
+}
+
+}  // namespace
+
+int main() {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 32;
+  params.config.log_window = 64;
+  params.seed = 4;
+
+  auto group = MakeBasefsGroup(
+      params,
+      {FsVendor::kLinear, FsVendor::kTree, FsVendor::kLog, FsVendor::kLinear},
+      /*array_size=*/256);
+  ReplicatedFsSession fs(group.get(), 0);
+
+  auto dir = fs.Mkdir(fs.Root(), "churn");
+  auto file = fs.Create(*dir, "hot");
+
+  std::printf("phase 1: aging the LogFs replica with write churn\n");
+  for (int i = 0; i < 200; ++i) {
+    fs.Write(*file, 0, ToBytes("payload " + std::to_string(i)));
+  }
+  std::printf("  LogFs leaked bytes before rejuvenation: %zu\n",
+              LogFsLeak(*group, 2));
+
+  std::printf("phase 2: staggered proactive recovery (period 10 min)\n");
+  group->EnableProactiveRecovery(10 * kMinute);
+  int completed_ops = 0;
+  while (true) {
+    uint64_t recoveries = 0;
+    for (int r = 0; r < group->replica_count(); ++r) {
+      recoveries += group->replica(r).recoveries_completed();
+    }
+    if (recoveries >= 4) {
+      break;
+    }
+    // Keep serving during rejuvenation.
+    auto data = fs.Read(*file, 0, 100);
+    if (data.ok()) {
+      ++completed_ops;
+    }
+    group->sim().RunUntil(group->sim().Now() + 30 * kSecond);
+  }
+  std::printf("  all 4 replicas recovered; %d reads served during rotation\n",
+              completed_ops);
+  std::printf("  LogFs leaked bytes after rejuvenation: %zu\n",
+              LogFsLeak(*group, 2));
+
+  std::printf("phase 3: recovery timings\n");
+  for (int r = 0; r < group->replica_count(); ++r) {
+    std::printf("  replica %d: %llu recoveries, last took %.1f s\n", r,
+                static_cast<unsigned long long>(
+                    group->replica(r).recoveries_completed()),
+                static_cast<double>(
+                    group->replica(r).last_recovery_duration()) /
+                    kSecond);
+  }
+  std::printf(
+      "window of vulnerability (Tv = 2Tk + Tr) at this period: %.0f min\n",
+      static_cast<double>(
+          ServiceGroup::WindowOfVulnerability(10 * kMinute)) /
+          kMinute);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: a Byzantine-fault-tolerant key-value store in a few lines.
+//
+// Stands up 4 replicas (f = 1) of the KvAdapter reference service inside
+// the deterministic simulation, runs a few operations, then crashes a
+// replica and keeps going.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "src/base/kv_adapter.h"
+#include "src/base/service_group.h"
+
+using namespace bftbase;
+
+int main() {
+  // 1. Describe the group: f=1 => n=4 replicas.
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.seed = 2024;
+
+  // 2. Build it. The factory runs once per replica; here every replica runs
+  //    the same in-memory KV adapter with 64 slots.
+  ServiceGroup group(params, [](Simulation* sim, NodeId) {
+    return std::make_unique<KvAdapter>(sim, 64);
+  });
+
+  // 3. Invoke operations through the BFT client.
+  auto put = group.Invoke(KvAdapter::EncodeSet(7, ToBytes("hello BFT")));
+  std::printf("SET slot 7    -> %s\n", ToString(*put).c_str());
+
+  auto get = group.Invoke(KvAdapter::EncodeGet(7));
+  std::printf("GET slot 7    -> %s\n", ToString(*get).c_str());
+
+  // 4. Crash a replica; the service does not notice (f=1 tolerated).
+  group.sim().network().Isolate(3);
+  auto after = group.Invoke(KvAdapter::EncodeAppend(7, ToBytes(", still up")));
+  std::printf("APPEND (one replica down) -> %s\n", ToString(*after).c_str());
+
+  auto final = group.Invoke(KvAdapter::EncodeGet(7));
+  std::printf("GET slot 7    -> %s\n", ToString(*final).c_str());
+
+  std::printf("\nvirtual time elapsed: %lld us, %llu protocol messages\n",
+              static_cast<long long>(group.sim().Now()),
+              static_cast<unsigned long long>(
+                  group.sim().network().messages_sent()));
+  return 0;
+}

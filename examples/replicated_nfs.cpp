@@ -1,0 +1,64 @@
+// BASEFS walkthrough: the paper's replicated NFS service.
+//
+// Builds a 4-replica BASEFS group (all replicas wrapping the same vendor),
+// drives it through the relay session with ordinary file operations, and
+// prints the per-operation flow plus protocol statistics.
+//
+//   $ ./replicated_nfs
+#include <cstdio>
+
+#include "src/basefs/basefs_group.h"
+#include "src/basefs/fs_session.h"
+
+using namespace bftbase;
+
+int main() {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 32;
+  params.config.log_window = 64;
+  params.seed = 7;
+
+  auto group = MakeBasefsGroup(params, {FsVendor::kLinear}, /*array_size=*/512);
+  ReplicatedFsSession fs(group.get(), 0);
+
+  std::printf("== building a small tree through the relay ==\n");
+  auto home = fs.Mkdir(fs.Root(), "home");
+  auto user = fs.Mkdir(*home, "user");
+  auto notes = fs.Create(*user, "notes.txt");
+  fs.Write(*notes, 0, ToBytes("BASE: using abstraction to improve fault tolerance\n"));
+  fs.Symlink(*user, "latest", "notes.txt");
+  std::printf("created /home/user/notes.txt (oid %llx)\n",
+              static_cast<unsigned long long>(*notes));
+
+  auto listing = fs.Readdir(*user);
+  std::printf("readdir /home/user (lexicographically sorted by the spec):\n");
+  for (const auto& [name, oid] : *listing) {
+    auto attr = fs.GetAttr(oid);
+    std::printf("  %-12s oid=%llx type=%d size=%llu\n", name.c_str(),
+                static_cast<unsigned long long>(oid),
+                static_cast<int>(attr->type),
+                static_cast<unsigned long long>(attr->size));
+  }
+
+  auto data = fs.Read(*notes, 0, 4096);
+  std::printf("read back: %s", ToString(*data).c_str());
+
+  std::printf("\n== protocol statistics ==\n");
+  std::printf("virtual time: %.2f ms\n",
+              static_cast<double>(group->sim().Now()) / kMillisecond);
+  std::printf("messages sent: %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(
+                  group->sim().network().messages_sent()),
+              static_cast<unsigned long long>(
+                  group->sim().network().bytes_sent()));
+  for (int r = 0; r < group->replica_count(); ++r) {
+    std::printf("replica %d: view=%llu executed=%llu stable-checkpoint=%llu\n",
+                r, static_cast<unsigned long long>(group->replica(r).view()),
+                static_cast<unsigned long long>(
+                    group->replica(r).requests_executed()),
+                static_cast<unsigned long long>(
+                    group->replica(r).stable_seq()));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The second service from the paper's abstract: an object-oriented database
+// where every replica runs the SAME implementation — which is internally
+// non-deterministic (scrambled object ids, hash-order scans). The wrapper's
+// abstract oids and sorted results make the replicas agree anyway.
+//
+//   $ ./replicated_oodb
+#include <cstdio>
+
+#include "src/oodb/oodb_session.h"
+
+using namespace bftbase;
+
+int main() {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.seed = 12;
+
+  auto group = MakeOodbGroup(params, /*array_size=*/512);
+  ReplicatedOodbSession db(group.get(), 0);
+
+  std::printf("== building a small design library (OO7-style) ==\n");
+  auto module = db.Create("module");
+  db.SetString(*module, "name", "engine");
+  for (int a = 0; a < 3; ++a) {
+    auto assembly = db.Create("assembly");
+    db.SetScalar(*assembly, "value", a);
+    db.AddRef(*module, "children", *assembly);
+    for (int p = 0; p < 4; ++p) {
+      auto part = db.Create("part");
+      db.SetScalar(*part, "value", 10 * a + p);
+      db.AddRef(*assembly, "children", *part);
+    }
+  }
+
+  auto traverse = db.Traverse(*module, "children", 4);
+  std::printf("traversal: visited %llu objects, value sum %lld\n",
+              static_cast<unsigned long long>(traverse->first),
+              static_cast<long long>(traverse->second));
+
+  auto scan = db.Scan();
+  std::printf("scan: %zu live objects (sorted oids despite hash-order "
+              "engines)\n",
+              scan->size());
+
+  std::printf("\n== engine-level non-determinism, abstract-level agreement ==\n");
+  // Engines handed out different internal ids...
+  auto* w0 = static_cast<OodbConformanceWrapper*>(group->adapter(0));
+  auto* w1 = static_cast<OodbConformanceWrapper*>(group->adapter(1));
+  auto scan0 = w0->engine()->Scan();
+  auto scan1 = w1->engine()->Scan();
+  std::printf("replica 0 first internal id: %016llx\n",
+              static_cast<unsigned long long>(scan0.empty() ? 0 : scan0[0]));
+  std::printf("replica 1 first internal id: %016llx\n",
+              static_cast<unsigned long long>(scan1.empty() ? 0 : scan1[0]));
+  // ...but the abstract states agree bit-for-bit.
+  bool equal = true;
+  for (uint32_t i = 0; i < 32; ++i) {
+    equal = equal && HexEncode(group->adapter(0)->GetObj(i)) ==
+                         HexEncode(group->adapter(1)->GetObj(i));
+  }
+  std::printf("abstract states identical: %s\n", equal ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "src/base/partition_tree.h"
+
+#include <cassert>
+
+namespace bftbase {
+
+PartitionTree::PartitionTree(size_t branching) : branching_(branching) {
+  assert(branching >= 2);
+  Resize(1);
+}
+
+void PartitionTree::Resize(size_t leaf_count) {
+  if (leaf_count <= leaf_count_ && !levels_.empty()) {
+    return;  // never shrinks
+  }
+  leaf_count_ = std::max<size_t>(leaf_count, 1);
+  leaves_.resize(leaf_count_, Digest());
+  Rebuild();
+}
+
+void PartitionTree::Rebuild() {
+  // Number of interior levels needed so the top level has width 1.
+  levels_.clear();
+  size_t width = leaf_count_;
+  std::vector<size_t> widths;
+  do {
+    width = (width + branching_ - 1) / branching_;
+    widths.push_back(width);
+  } while (width > 1);
+  // widths are bottom-up; levels_ is top-down.
+  for (auto it = widths.rbegin(); it != widths.rend(); ++it) {
+    levels_.emplace_back(*it);  // all nodes start dirty
+  }
+}
+
+void PartitionTree::SetLeaf(size_t index, const Digest& digest) {
+  assert(index < leaf_count_);
+  leaves_[index] = digest;
+  MarkPathDirty(index);
+}
+
+Digest PartitionTree::Leaf(size_t index) const {
+  assert(index < leaf_count_);
+  return leaves_[index];
+}
+
+void PartitionTree::MarkPathDirty(size_t leaf_index) {
+  size_t index = leaf_index;
+  for (int level = depth() - 1; level >= 0; --level) {
+    index /= branching_;
+    if (levels_[level][index].dirty) {
+      break;  // everything above is already dirty
+    }
+    levels_[level][index].dirty = true;
+  }
+}
+
+size_t PartitionTree::LevelWidth(int level) const {
+  if (level == depth()) {
+    return leaf_count_;
+  }
+  return levels_[level].size();
+}
+
+std::pair<size_t, size_t> PartitionTree::LeafRange(int level,
+                                                   size_t index) const {
+  // span(level) = branching ^ (depth - level)
+  size_t span = 1;
+  for (int l = level; l < depth(); ++l) {
+    span *= branching_;
+  }
+  size_t first = index * span;
+  size_t last = std::min(first + span, leaf_count_);
+  return {first, last};
+}
+
+Digest PartitionTree::ComputeNode(int level, size_t index) {
+  Digest::Builder builder;
+  builder.Add(static_cast<uint64_t>(level));
+  builder.Add(static_cast<uint64_t>(index));
+  size_t child_width = LevelWidth(level + 1);
+  size_t first = index * branching_;
+  size_t last = std::min(first + branching_, child_width);
+  for (size_t child = first; child < last; ++child) {
+    builder.Add(NodeDigest(level + 1, child));
+  }
+  ++recomputed_nodes_;
+  return builder.Build();
+}
+
+Digest PartitionTree::NodeDigest(int level, size_t index) {
+  if (level == depth()) {
+    return leaves_[index];
+  }
+  Node& node = levels_[level][index];
+  if (node.dirty) {
+    node.digest = ComputeNode(level, index);
+    node.dirty = false;
+  }
+  return node.digest;
+}
+
+std::vector<Digest> PartitionTree::ChildDigests(int level, size_t index) {
+  std::vector<Digest> out;
+  size_t child_width = LevelWidth(level + 1);
+  size_t first = index * branching_;
+  size_t last = std::min(first + branching_, child_width);
+  out.reserve(last - first);
+  for (size_t child = first; child < last; ++child) {
+    out.push_back(NodeDigest(level + 1, child));
+  }
+  return out;
+}
+
+Digest PartitionTree::Root() {
+  // Bind the leaf count so states of different sizes cannot collide.
+  return Digest::Builder()
+      .Add(NodeDigest(0, 0))
+      .Add(static_cast<uint64_t>(leaf_count_))
+      .Build();
+}
+
+}  // namespace bftbase

@@ -1,0 +1,150 @@
+#include "src/base/replica_service.h"
+
+#include "src/util/codec.h"
+#include "src/util/log.h"
+
+namespace bftbase {
+
+ReplicaService::ReplicaService(Simulation* sim, const Config& config,
+                               NodeId self, ServiceAdapter* adapter,
+                               Options options)
+    : sim_(sim),
+      config_(config),
+      self_(self),
+      adapter_(adapter),
+      options_(options),
+      cm_(sim, adapter, options.full_copy_checkpoints),
+      state_transfer_(sim, config, self, &cm_, options.state_transfer) {
+  adapter_->SetModifyFn(
+      [this](size_t object_index) { cm_.OnModify(object_index); });
+  state_transfer_.SetDone([this](SeqNum seq, const Digest& root) {
+    if (rebuilding_) {
+      // The clean concrete state has been rebuilt from the saved abstract
+      // state plus fetched objects; resume serving and drop the disk copy.
+      rebuilding_ = false;
+      recovery_disk_.clear();
+      state_transfer_.SetServing(true);
+    }
+    if (done_fn_) {
+      done_fn_(seq, root);
+    }
+  });
+}
+
+Bytes ReplicaService::EncodeNondet(SimTime time_us) {
+  Encoder enc;
+  enc.PutI64(time_us);
+  return enc.Take();
+}
+
+std::optional<SimTime> ReplicaService::DecodeNondet(BytesView nondet) {
+  Decoder dec(nondet);
+  SimTime t = dec.GetI64();
+  if (!dec.AtEnd()) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+Bytes ReplicaService::Execute(BytesView op, NodeId client, BytesView nondet,
+                              bool tentative) {
+  Bytes effective = Bytes(nondet.begin(), nondet.end());
+  if (!tentative) {
+    auto t = DecodeNondet(nondet);
+    if (t.has_value()) {
+      // Enforce monotonic agreed timestamps even if the primary proposed a
+      // slightly older clock reading than a previous one.
+      uint64_t value = static_cast<uint64_t>(*t);
+      if (value < last_agreed_timestamp_) {
+        value = last_agreed_timestamp_;
+      }
+      last_agreed_timestamp_ = value;
+      effective = EncodeNondet(static_cast<SimTime>(value));
+    }
+  }
+  return adapter_->Execute(op, client, effective, tentative);
+}
+
+Bytes ReplicaService::ProposeNondet() {
+  // The agreed non-deterministic input for a batch is the primary's clock
+  // reading (the NFS wrapper turns it into time-last-modified values).
+  Bytes proposal = adapter_->ProposeNondet();
+  if (!proposal.empty()) {
+    return proposal;
+  }
+  return EncodeNondet(sim_->Now());
+}
+
+bool ReplicaService::CheckNondet(BytesView nondet) {
+  auto t = DecodeNondet(nondet);
+  if (!t.has_value()) {
+    // Not a timestamp: delegate to the adapter's own validator.
+    return adapter_->CheckNondet(nondet);
+  }
+  SimTime now = sim_->Now();
+  SimTime delta = *t > now ? *t - now : now - *t;
+  return delta <= options_.nondet_tolerance;
+}
+
+Digest ReplicaService::TakeCheckpoint(SeqNum seq) {
+  return cm_.TakeCheckpoint(seq, pending_protocol_state_);
+}
+
+void ReplicaService::DiscardCheckpointsBefore(SeqNum seq) {
+  cm_.DiscardBefore(seq);
+}
+
+void ReplicaService::HandleStateMessage(NodeId from, BytesView payload) {
+  state_transfer_.HandleMessage(from, payload);
+}
+
+void ReplicaService::StartStateTransfer(SeqNum seq, const Digest& digest) {
+  state_transfer_.Start(seq, digest);
+}
+
+void ReplicaService::SetStateSender(StateSenderFn fn) {
+  state_transfer_.SetSender(
+      [fn = std::move(fn)](NodeId to, const Bytes& payload) {
+        fn(to, payload);
+      });
+}
+
+size_t ReplicaService::SaveForRecovery() {
+  // Save the abstract value of every leaf (protocol blob + objects) to the
+  // simulated disk. The digests let the rebuild use the saved copies for
+  // every object the group agrees is current, so only divergent objects hit
+  // the network.
+  recovery_disk_.clear();
+  size_t total_bytes = 0;
+  size_t object_count = adapter_->ObjectCount();
+  for (size_t leaf = 0; leaf < object_count + 1; ++leaf) {
+    SavedLeaf saved;
+    saved.value = leaf == 0
+                      ? pending_protocol_state_
+                      : adapter_->GetObj(CheckpointManager::ObjectForLeaf(leaf));
+    sim_->ChargeCpu(sim_->cost().DigestCost(saved.value.size()));
+    saved.digest = Digest::Of(saved.value);
+    total_bytes += saved.value.size();
+    recovery_disk_.emplace(leaf, std::move(saved));
+  }
+  return total_bytes;
+}
+
+void ReplicaService::RestartFromRecovery() {
+  // "It is better to restart the implementation from a clean initial
+  // concrete state and use the abstract state to bring it up-to-date."
+  rebuilding_ = true;
+  state_transfer_.SetServing(false);
+  adapter_->RestartClean();
+  cm_.FullResync(/*seq=*/0, /*protocol_state=*/Bytes());
+  state_transfer_.SetLocalSource(
+      [this](size_t leaf, const Digest& expected) -> std::optional<Bytes> {
+        auto it = recovery_disk_.find(leaf);
+        if (it != recovery_disk_.end() && it->second.digest == expected) {
+          return it->second.value;
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace bftbase

@@ -1,0 +1,97 @@
+// ReplicaService: the BASE library glue.
+//
+// Implements the BFT replica's ServiceInterface for ANY service that
+// provides the paper's abstraction upcalls (a ServiceAdapter / conformance
+// wrapper): execution with agreed non-determinism, copy-on-write abstract
+// checkpoints, the hierarchical state-partition tree, abstract state
+// transfer and the save/reboot/rebuild cycle of proactive recovery.
+//
+// This is the piece that makes the BFT layer reusable across the NFS and
+// object-database examples without either knowing about the other.
+#ifndef SRC_BASE_REPLICA_SERVICE_H_
+#define SRC_BASE_REPLICA_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "src/base/adapter.h"
+#include "src/base/checkpoint_manager.h"
+#include "src/base/state_transfer.h"
+#include "src/bft/service.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class ReplicaService : public ServiceInterface {
+ public:
+  struct Options {
+    // E4 ablation: disable copy-on-write checkpoints.
+    bool full_copy_checkpoints = false;
+    // Acceptable divergence between a proposed timestamp and the local
+    // clock when validating non-deterministic input.
+    SimTime nondet_tolerance = 500 * kMillisecond;
+    StateTransfer::Options state_transfer;
+  };
+
+  ReplicaService(Simulation* sim, const Config& config, NodeId self,
+                 ServiceAdapter* adapter, Options options);
+  ReplicaService(Simulation* sim, const Config& config, NodeId self,
+                 ServiceAdapter* adapter)
+      : ReplicaService(sim, config, self, adapter, Options{}) {}
+
+  // --- ServiceInterface ------------------------------------------------------
+  Bytes Execute(BytesView op, NodeId client, BytesView nondet,
+                bool tentative) override;
+  Bytes ProposeNondet() override;
+  bool CheckNondet(BytesView nondet) override;
+  Digest TakeCheckpoint(SeqNum seq) override;
+  void DiscardCheckpointsBefore(SeqNum seq) override;
+  void HandleStateMessage(NodeId from, BytesView payload) override;
+  void StartStateTransfer(SeqNum seq, const Digest& digest) override;
+  bool InStateTransfer() const override { return state_transfer_.active(); }
+  void SetStateTransferDone(StateTransferDoneFn fn) override {
+    done_fn_ = std::move(fn);
+  }
+  void SetStateSender(StateSenderFn fn) override;
+  size_t SaveForRecovery() override;
+  void RestartFromRecovery() override;
+  void SetProtocolState(const Bytes& blob) override {
+    pending_protocol_state_ = blob;
+  }
+  Bytes GetProtocolState() const override { return cm_.protocol_state(); }
+
+  // --- Introspection ----------------------------------------------------------
+  CheckpointManager& checkpoints() { return cm_; }
+  StateTransfer& state_transfer() { return state_transfer_; }
+  ServiceAdapter* adapter() { return adapter_; }
+  uint64_t last_agreed_timestamp() const { return last_agreed_timestamp_; }
+
+  // Encodes a virtual-time timestamp as a nondet blob (also used by tests).
+  static Bytes EncodeNondet(SimTime time_us);
+  static std::optional<SimTime> DecodeNondet(BytesView nondet);
+
+ private:
+  Simulation* sim_;
+  Config config_;
+  NodeId self_;
+  ServiceAdapter* adapter_;
+  Options options_;
+  CheckpointManager cm_;
+  StateTransfer state_transfer_;
+  StateTransferDoneFn done_fn_;
+  Bytes pending_protocol_state_;
+  uint64_t last_agreed_timestamp_ = 0;
+
+  // Proactive-recovery "disk": the abstract state saved before the reboot.
+  struct SavedLeaf {
+    Bytes value;
+    Digest digest;
+  };
+  std::map<size_t, SavedLeaf> recovery_disk_;
+  bool rebuilding_ = false;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BASE_REPLICA_SERVICE_H_

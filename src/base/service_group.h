@@ -1,0 +1,84 @@
+// ServiceGroup: constructs and owns a complete replicated service — the
+// simulation, key table, n = 3f+1 replicas (each with its own conformance
+// wrapper / adapter), and clients.
+//
+// This is the top-level convenience API: examples, benchmarks and tests all
+// stand up services through it. Heterogeneous deployments (the paper's
+// opportunistic N-version programming) are expressed by an AdapterFactory
+// that returns a different wrapper per replica id.
+#ifndef SRC_BASE_SERVICE_GROUP_H_
+#define SRC_BASE_SERVICE_GROUP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/adapter.h"
+#include "src/base/replica_service.h"
+#include "src/bft/client.h"
+#include "src/bft/replica.h"
+#include "src/crypto/hmac.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class ServiceGroup {
+ public:
+  struct Params {
+    Config config;
+    uint64_t seed = 1;
+    CostModel cost;
+    ReplicaService::Options service;
+  };
+
+  // Builds the adapter for replica `id`. Called n() times.
+  using AdapterFactory =
+      std::function<std::unique_ptr<ServiceAdapter>(Simulation* sim, NodeId id)>;
+
+  ServiceGroup(Params params, AdapterFactory factory);
+  ~ServiceGroup();
+
+  ServiceGroup(const ServiceGroup&) = delete;
+  ServiceGroup& operator=(const ServiceGroup&) = delete;
+
+  Simulation& sim() { return *sim_; }
+  KeyTable& keys() { return *keys_; }
+  const Config& config() const { return params_.config; }
+
+  Replica& replica(int i) { return *replicas_[i]; }
+  ReplicaService& service(int i) { return *services_[i]; }
+  ServiceAdapter* adapter(int i) { return adapters_[i].get(); }
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+
+  // Clients are created on first use; index in [0, config.max_clients).
+  Client& client(int i);
+
+  // Convenience: synchronous invoke through client 0.
+  Result<Bytes> Invoke(Bytes op, bool read_only = false,
+                       SimTime timeout = 60 * kSecond);
+
+  // Arms staggered proactive-recovery watchdogs: replica i first recovers at
+  // (i+1) * period / n, then every `period` (so at most one replica is
+  // recovering at a time when period >> recovery duration).
+  void EnableProactiveRecovery(SimTime period);
+
+  // Window of vulnerability Tv = 2*Tk + Tr (OSDI'00): Tk is the key-refresh
+  // period (== recovery period here, since recovery refreshes keys) and Tr
+  // the recovery rotation period.
+  static SimTime WindowOfVulnerability(SimTime recovery_period) {
+    return 2 * recovery_period + recovery_period;
+  }
+
+ private:
+  Params params_;
+  std::unique_ptr<Simulation> sim_;
+  std::unique_ptr<KeyTable> keys_;
+  std::vector<std::unique_ptr<ServiceAdapter>> adapters_;
+  std::vector<std::unique_ptr<ReplicaService>> services_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BASE_SERVICE_GROUP_H_

@@ -1,0 +1,59 @@
+#include "src/basefs/basefs_group.h"
+
+#include "src/fs/linear_fs.h"
+#include "src/fs/log_fs.h"
+#include "src/fs/tree_fs.h"
+
+namespace bftbase {
+
+const char* FsVendorName(FsVendor vendor) {
+  switch (vendor) {
+    case FsVendor::kLinear:
+      return "linearfs";
+    case FsVendor::kTree:
+      return "treefs";
+    case FsVendor::kLog:
+      return "logfs";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<FileSystem> MakeFileSystem(FsVendor vendor, Simulation* sim,
+                                           SimTime clock_skew_us) {
+  FsClock clock = [sim, clock_skew_us] { return sim->Now() + clock_skew_us; };
+  switch (vendor) {
+    case FsVendor::kLinear:
+      return std::make_unique<LinearFs>(sim, clock);
+    case FsVendor::kTree:
+      return std::make_unique<TreeFs>(sim, clock);
+    case FsVendor::kLog:
+      return std::make_unique<LogFs>(sim, clock);
+  }
+  return nullptr;
+}
+
+ServiceGroup::AdapterFactory BasefsAdapterFactory(std::vector<FsVendor> vendors,
+                                                  uint32_t array_size) {
+  return [vendors = std::move(vendors), array_size](
+             Simulation* sim, NodeId id) -> std::unique_ptr<ServiceAdapter> {
+    FsVendor vendor = vendors[static_cast<size_t>(id) % vendors.size()];
+    // Each replica's daemon runs with its own clock skew; the wrapper's
+    // agreed abstract timestamps make this invisible to clients.
+    SimTime skew = (id + 1) * 137 * kMillisecond;
+    FsConformanceWrapper::Options options;
+    options.array_size = array_size;
+    return std::make_unique<FsConformanceWrapper>(
+        sim,
+        [sim, vendor, skew] { return MakeFileSystem(vendor, sim, skew); },
+        options);
+  };
+}
+
+std::unique_ptr<ServiceGroup> MakeBasefsGroup(ServiceGroup::Params params,
+                                              std::vector<FsVendor> vendors,
+                                              uint32_t array_size) {
+  return std::make_unique<ServiceGroup>(
+      params, BasefsAdapterFactory(std::move(vendors), array_size));
+}
+
+}  // namespace bftbase

@@ -1,0 +1,48 @@
+// Convenience factories for standing up replicated BASEFS services.
+//
+// The heterogeneous deployment (each replica a different off-the-shelf file
+// system, the paper's opportunistic N-version programming) is one line:
+//
+//   auto group = MakeBasefsGroup(params, {FsVendor::kLinear, FsVendor::kTree,
+//                                         FsVendor::kLog, FsVendor::kLinear});
+//   ReplicatedFsSession fs(group.get(), 0);
+//   fs.Mkdir(fs.Root(), "home");
+#ifndef SRC_BASEFS_BASEFS_GROUP_H_
+#define SRC_BASEFS_BASEFS_GROUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/service_group.h"
+#include "src/basefs/conformance_wrapper.h"
+#include "src/fs/file_system.h"
+
+namespace bftbase {
+
+enum class FsVendor {
+  kLinear,  // LinearFs (VendorA)
+  kTree,    // TreeFs (VendorB)
+  kLog,     // LogFs (VendorC)
+};
+
+const char* FsVendorName(FsVendor vendor);
+
+// Builds one off-the-shelf file-system instance. `clock_skew_us` skews the
+// daemon's local clock, mirroring unsynchronized server clocks; the
+// conformance wrapper must hide the resulting timestamp divergence.
+std::unique_ptr<FileSystem> MakeFileSystem(FsVendor vendor, Simulation* sim,
+                                           SimTime clock_skew_us = 0);
+
+// Adapter factory for ServiceGroup: replica i runs a conformance wrapper
+// around vendors[i % vendors.size()], with a per-replica clock skew.
+ServiceGroup::AdapterFactory BasefsAdapterFactory(
+    std::vector<FsVendor> vendors, uint32_t array_size = 1024);
+
+// One-call service construction.
+std::unique_ptr<ServiceGroup> MakeBasefsGroup(
+    ServiceGroup::Params params, std::vector<FsVendor> vendors,
+    uint32_t array_size = 1024);
+
+}  // namespace bftbase
+
+#endif  // SRC_BASEFS_BASEFS_GROUP_H_

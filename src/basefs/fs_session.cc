@@ -1,0 +1,412 @@
+#include "src/basefs/fs_session.h"
+
+#include "src/util/codec.h"
+#include "src/util/log.h"
+
+namespace bftbase {
+
+Status FsSession::FromNfs(NfsStat stat) {
+  if (stat == NfsStat::kOk) {
+    return Status::Ok();
+  }
+  return Status(StatusCode::kFailedPrecondition, NfsStatName(stat));
+}
+
+Result<Oid> FsSession::Lookup(Oid dir, const std::string& name) {
+  NfsCall call;
+  call.proc = NfsProc::kLookup;
+  call.oid = dir;
+  call.name = name;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->oid;
+}
+
+Result<Oid> FsSession::Create(Oid dir, const std::string& name,
+                              uint32_t mode) {
+  NfsCall call;
+  call.proc = NfsProc::kCreate;
+  call.oid = dir;
+  call.name = name;
+  call.attrs.mode = mode;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->oid;
+}
+
+Result<Oid> FsSession::Mkdir(Oid dir, const std::string& name, uint32_t mode) {
+  NfsCall call;
+  call.proc = NfsProc::kMkdir;
+  call.oid = dir;
+  call.name = name;
+  call.attrs.mode = mode;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->oid;
+}
+
+Result<Oid> FsSession::Symlink(Oid dir, const std::string& name,
+                               const std::string& target) {
+  NfsCall call;
+  call.proc = NfsProc::kSymlink;
+  call.oid = dir;
+  call.name = name;
+  call.target = target;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->oid;
+}
+
+Result<Fattr> FsSession::GetAttr(Oid oid) {
+  NfsCall call;
+  call.proc = NfsProc::kGetAttr;
+  call.oid = oid;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->attr;
+}
+
+Result<Fattr> FsSession::Write(Oid file, uint64_t offset, BytesView data) {
+  NfsCall call;
+  call.proc = NfsProc::kWrite;
+  call.oid = file;
+  call.offset = offset;
+  call.data = Bytes(data.begin(), data.end());
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->attr;
+}
+
+Result<Bytes> FsSession::Read(Oid file, uint64_t offset, uint32_t count) {
+  NfsCall call;
+  call.proc = NfsProc::kRead;
+  call.oid = file;
+  call.offset = offset;
+  call.count = count;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return std::move(reply->data);
+}
+
+Result<std::string> FsSession::Readlink(Oid link) {
+  NfsCall call;
+  call.proc = NfsProc::kReadlink;
+  call.oid = link;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->target;
+}
+
+Status FsSession::Remove(Oid dir, const std::string& name) {
+  NfsCall call;
+  call.proc = NfsProc::kRemove;
+  call.oid = dir;
+  call.name = name;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromNfs(reply->stat);
+}
+
+Status FsSession::Rmdir(Oid dir, const std::string& name) {
+  NfsCall call;
+  call.proc = NfsProc::kRmdir;
+  call.oid = dir;
+  call.name = name;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromNfs(reply->stat);
+}
+
+Status FsSession::Rename(Oid from_dir, const std::string& from_name,
+                         Oid to_dir, const std::string& to_name) {
+  NfsCall call;
+  call.proc = NfsProc::kRename;
+  call.oid = from_dir;
+  call.name = from_name;
+  call.oid2 = to_dir;
+  call.name2 = to_name;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromNfs(reply->stat);
+}
+
+Result<std::vector<std::pair<std::string, Oid>>> FsSession::Readdir(Oid dir) {
+  NfsCall call;
+  call.proc = NfsProc::kReaddir;
+  call.oid = dir;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return std::move(reply->entries);
+}
+
+Result<Fattr> FsSession::SetAttr(Oid oid, const SetAttrs& attrs) {
+  NfsCall call;
+  call.proc = NfsProc::kSetAttr;
+  call.oid = oid;
+  call.attrs = attrs;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->stat != NfsStat::kOk) {
+    return FromNfs(reply->stat);
+  }
+  return reply->attr;
+}
+
+// -------------------------------------------------------------------- relay
+
+ReplicatedFsSession::ReplicatedFsSession(ServiceGroup* group, int client_index,
+                                         SimTime op_timeout)
+    : group_(group), client_index_(client_index), op_timeout_(op_timeout) {}
+
+Result<NfsReply> ReplicatedFsSession::Call(const NfsCall& call) {
+  bool read_only = IsReadOnlyProc(call.proc);
+  auto result = group_->client(client_index_)
+                    .InvokeSync(call.Encode(), read_only, op_timeout_);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return NfsReply::Decode(call.proc, *result);
+}
+
+// ---------------------------------------------------------- plain baseline
+
+PlainNfsServer::PlainNfsServer(Simulation* sim, NodeId id,
+                               std::unique_ptr<FileSystem> fs)
+    : sim_(sim), id_(id), fs_(std::move(fs)) {
+  sim_->AddNode(id_, this);
+  id_to_fh_[kRootId] = fs_->Root();
+  fh_to_id_[fs_->Root()] = kRootId;
+}
+
+uint64_t PlainNfsServer::IdOf(const Bytes& fh) {
+  auto it = fh_to_id_.find(fh);
+  if (it != fh_to_id_.end()) {
+    return it->second;
+  }
+  uint64_t id = next_id_++;
+  fh_to_id_[fh] = id;
+  id_to_fh_[id] = fh;
+  return id;
+}
+
+Result<Bytes> PlainNfsServer::HandleOf(Oid id) {
+  auto it = id_to_fh_.find(id);
+  if (it == id_to_fh_.end()) {
+    return NotFound("stale id");
+  }
+  return it->second;
+}
+
+NfsReply PlainNfsServer::Dispatch(const NfsCall& call) {
+  NfsReply reply;
+  auto fh = HandleOf(call.oid);
+  if (!fh.ok() && call.proc != NfsProc::kNull &&
+      call.proc != NfsProc::kStatfs) {
+    reply.stat = NfsStat::kStale;
+    return reply;
+  }
+  switch (call.proc) {
+    case NfsProc::kNull:
+      reply.stat = NfsStat::kOk;
+      break;
+    case NfsProc::kGetAttr: {
+      auto r = fs_->GetAttr(*fh);
+      reply.stat = r.stat;
+      reply.attr = r.attr;
+      break;
+    }
+    case NfsProc::kSetAttr: {
+      auto r = fs_->SetAttr(*fh, call.attrs);
+      reply.stat = r.stat;
+      reply.attr = r.attr;
+      break;
+    }
+    case NfsProc::kLookup: {
+      auto r = fs_->Lookup(*fh, call.name);
+      reply.stat = r.stat;
+      if (r.stat == NfsStat::kOk) {
+        reply.oid = IdOf(r.fh);
+        reply.attr = r.attr;
+      }
+      break;
+    }
+    case NfsProc::kReadlink: {
+      auto r = fs_->Readlink(*fh);
+      reply.stat = r.stat;
+      reply.target = r.target;
+      break;
+    }
+    case NfsProc::kRead: {
+      auto r = fs_->Read(*fh, call.offset, call.count);
+      reply.stat = r.stat;
+      reply.data = std::move(r.data);
+      reply.attr = r.attr;
+      break;
+    }
+    case NfsProc::kWrite: {
+      auto r = fs_->Write(*fh, call.offset, call.data);
+      reply.stat = r.stat;
+      reply.attr = r.attr;
+      break;
+    }
+    case NfsProc::kCreate:
+    case NfsProc::kMkdir:
+    case NfsProc::kSymlink: {
+      FileSystem::HandleResult r;
+      if (call.proc == NfsProc::kCreate) {
+        r = fs_->Create(*fh, call.name, call.attrs);
+      } else if (call.proc == NfsProc::kMkdir) {
+        r = fs_->Mkdir(*fh, call.name, call.attrs);
+      } else {
+        r = fs_->Symlink(*fh, call.name, call.target, call.attrs);
+      }
+      reply.stat = r.stat;
+      if (r.stat == NfsStat::kOk) {
+        reply.oid = IdOf(r.fh);
+        reply.attr = r.attr;
+      }
+      break;
+    }
+    case NfsProc::kRemove:
+      reply.stat = fs_->Remove(*fh, call.name);
+      break;
+    case NfsProc::kRmdir:
+      reply.stat = fs_->Rmdir(*fh, call.name);
+      break;
+    case NfsProc::kRename: {
+      auto fh2 = HandleOf(call.oid2);
+      if (!fh2.ok()) {
+        reply.stat = NfsStat::kStale;
+        break;
+      }
+      reply.stat = fs_->Rename(*fh, call.name, *fh2, call.name2);
+      break;
+    }
+    case NfsProc::kReaddir: {
+      auto r = fs_->Readdir(*fh);
+      reply.stat = r.stat;
+      if (r.stat == NfsStat::kOk) {
+        for (const DirEntry& e : r.entries) {
+          reply.entries.emplace_back(e.name, IdOf(e.fh));
+        }
+      }
+      break;
+    }
+    case NfsProc::kStatfs: {
+      auto r = fs_->Statfs();
+      reply.stat = r.stat;
+      reply.block_size = r.block_size;
+      reply.total_blocks = r.total_blocks;
+      reply.free_blocks = r.free_blocks;
+      break;
+    }
+  }
+  return reply;
+}
+
+void PlainNfsServer::OnMessage(NodeId from, const Bytes& payload) {
+  // Payload: u64 call id || XDR-encoded NfsCall.
+  Decoder dec(payload);
+  uint64_t call_id = dec.GetU64();
+  if (!dec.ok()) {
+    return;
+  }
+  Bytes call_bytes = dec.GetFixed(dec.remaining());
+  auto call = NfsCall::Decode(call_bytes);
+  NfsReply reply;
+  NfsProc proc = NfsProc::kNull;
+  if (call.ok()) {
+    proc = call->proc;
+    reply = Dispatch(*call);
+  } else {
+    reply.stat = NfsStat::kInval;
+  }
+  Encoder enc;
+  enc.PutU64(call_id);
+  enc.PutFixed(reply.Encode(proc));
+  sim_->network().Send(id_, from, enc.Take());
+}
+
+PlainFsSession::PlainFsSession(Simulation* sim, NodeId id, NodeId server,
+                               SimTime op_timeout)
+    : sim_(sim), id_(id), server_(server), op_timeout_(op_timeout) {
+  sim_->AddNode(id_, this);
+}
+
+void PlainFsSession::OnMessage(NodeId /*from*/, const Bytes& payload) {
+  Decoder dec(payload);
+  uint64_t call_id = dec.GetU64();
+  if (!dec.ok() || call_id != next_call_id_ - 1) {
+    return;  // stale reply
+  }
+  reply_bytes_ = dec.GetFixed(dec.remaining());
+  reply_ready_ = true;
+}
+
+Result<NfsReply> PlainFsSession::Call(const NfsCall& call) {
+  Encoder enc;
+  enc.PutU64(next_call_id_++);
+  enc.PutFixed(call.Encode());
+  reply_ready_ = false;
+  sim_->network().Send(id_, server_, enc.Take());
+  if (!sim_->RunUntilTrue([&] { return reply_ready_; },
+                          sim_->Now() + op_timeout_)) {
+    return Unavailable("NFS call timed out");
+  }
+  return NfsReply::Decode(call.proc, reply_bytes_);
+}
+
+}  // namespace bftbase

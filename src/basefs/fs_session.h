@@ -1,0 +1,130 @@
+// Client-side file-service API.
+//
+// FsSession is the synchronous NFS-call interface the workloads, examples
+// and tests drive. Two implementations:
+//
+//   ReplicatedFsSession — the paper's user-level RELAY (Figure 2): receives
+//     NFS calls, invokes the replication library's invoke(), returns the
+//     agreed reply. Read-only procedures use the tentative-execution
+//     optimization.
+//
+//   PlainFsSession — the unreplicated baseline: the same calls sent over
+//     the simulated network to a single PlainNfsServer wrapping one
+//     off-the-shelf file system, with no replication, agreement or crypto.
+//     This is the "off-the-shelf implementation" bar in the paper's Andrew
+//     benchmark comparison.
+#ifndef SRC_BASEFS_FS_SESSION_H_
+#define SRC_BASEFS_FS_SESSION_H_
+
+#include <map>
+#include <memory>
+
+#include "src/base/service_group.h"
+#include "src/basefs/abstract_spec.h"
+#include "src/fs/file_system.h"
+
+namespace bftbase {
+
+class FsSession {
+ public:
+  virtual ~FsSession() = default;
+
+  // Performs one NFS call and returns the decoded reply (the transport
+  // error space is folded into Status; NFS-level errors come back in
+  // reply.stat).
+  virtual Result<NfsReply> Call(const NfsCall& call) = 0;
+
+  // Root oid of this session's file tree.
+  virtual Oid Root() const = 0;
+
+  // --- Convenience wrappers (shared across sessions) -------------------------
+  Result<Oid> Lookup(Oid dir, const std::string& name);
+  Result<Oid> Create(Oid dir, const std::string& name, uint32_t mode = 0644);
+  Result<Oid> Mkdir(Oid dir, const std::string& name, uint32_t mode = 0755);
+  Result<Oid> Symlink(Oid dir, const std::string& name,
+                      const std::string& target);
+  Result<Fattr> GetAttr(Oid oid);
+  Result<Fattr> Write(Oid file, uint64_t offset, BytesView data);
+  Result<Bytes> Read(Oid file, uint64_t offset, uint32_t count);
+  Result<std::string> Readlink(Oid link);
+  Status Remove(Oid dir, const std::string& name);
+  Status Rmdir(Oid dir, const std::string& name);
+  Status Rename(Oid from_dir, const std::string& from_name, Oid to_dir,
+                const std::string& to_name);
+  Result<std::vector<std::pair<std::string, Oid>>> Readdir(Oid dir);
+  Result<Fattr> SetAttr(Oid oid, const SetAttrs& attrs);
+
+ protected:
+  // Turns an NFS error status into a Status (kOk stays OK).
+  static Status FromNfs(NfsStat stat);
+};
+
+// The relay: unmodified applications -> FsSession -> invoke() -> replicas.
+class ReplicatedFsSession : public FsSession {
+ public:
+  ReplicatedFsSession(ServiceGroup* group, int client_index,
+                      SimTime op_timeout = 120 * kSecond);
+
+  Result<NfsReply> Call(const NfsCall& call) override;
+  Oid Root() const override { return kRootOid; }
+
+  Client& bft_client() { return group_->client(client_index_); }
+
+ private:
+  ServiceGroup* group_;
+  int client_index_;
+  SimTime op_timeout_;
+};
+
+// --------------------------------------------------------------------------
+// Unreplicated baseline.
+// --------------------------------------------------------------------------
+
+// A minimal user-level NFS daemon: one wrapped file system behind the same
+// XDR protocol, with a per-server table translating the protocol's 64-bit
+// ids to the implementation's opaque handles. No replication, no MACs.
+class PlainNfsServer : public SimNode {
+ public:
+  PlainNfsServer(Simulation* sim, NodeId id,
+                 std::unique_ptr<FileSystem> fs);
+
+  void OnMessage(NodeId from, const Bytes& payload) override;
+
+  FileSystem* fs() { return fs_.get(); }
+  static constexpr Oid kRootId = 1;
+
+ private:
+  uint64_t IdOf(const Bytes& fh);
+  Result<Bytes> HandleOf(Oid id);
+  NfsReply Dispatch(const NfsCall& call);
+
+  Simulation* sim_;
+  NodeId id_;
+  std::unique_ptr<FileSystem> fs_;
+  std::map<Bytes, uint64_t> fh_to_id_;
+  std::map<uint64_t, Bytes> id_to_fh_;
+  uint64_t next_id_ = 2;
+};
+
+class PlainFsSession : public FsSession, public SimNode {
+ public:
+  PlainFsSession(Simulation* sim, NodeId id, NodeId server,
+                 SimTime op_timeout = 30 * kSecond);
+
+  Result<NfsReply> Call(const NfsCall& call) override;
+  Oid Root() const override { return PlainNfsServer::kRootId; }
+  void OnMessage(NodeId from, const Bytes& payload) override;
+
+ private:
+  Simulation* sim_;
+  NodeId id_;
+  NodeId server_;
+  SimTime op_timeout_;
+  uint64_t next_call_id_ = 1;
+  bool reply_ready_ = false;
+  Bytes reply_bytes_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BASEFS_FS_SESSION_H_

@@ -1,0 +1,202 @@
+#include "src/basefs/path.h"
+
+namespace bftbase {
+
+std::vector<std::string> PathWalker::Split(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty() || current == ".") {
+      current.clear();
+      return;
+    }
+    if (current == "..") {
+      if (!parts.empty()) {
+        parts.pop_back();
+      }
+    } else {
+      parts.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return parts;
+}
+
+Result<Oid> PathWalker::Resolve(const std::string& path) {
+  return ResolveFrom(session_->Root(), path, 0);
+}
+
+Result<Oid> PathWalker::ResolveFrom(Oid base, const std::string& path,
+                                    int depth) {
+  if (depth > kMaxSymlinkDepth) {
+    return FailedPrecondition("too many levels of symbolic links");
+  }
+  Oid current = path.size() > 0 && path[0] == '/' ? session_->Root() : base;
+  for (const std::string& part : Split(path)) {
+    auto child = session_->Lookup(current, part);
+    if (!child.ok()) {
+      return child.status();
+    }
+    auto attr = session_->GetAttr(*child);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    if (attr->type == FileType::kSymlink) {
+      auto target = session_->Readlink(*child);
+      if (!target.ok()) {
+        return target.status();
+      }
+      auto resolved = ResolveFrom(current, *target, depth + 1);
+      if (!resolved.ok()) {
+        return resolved.status();
+      }
+      current = *resolved;
+    } else {
+      current = *child;
+    }
+  }
+  return current;
+}
+
+Result<Oid> PathWalker::ResolveParent(const std::string& path,
+                                      std::string* leaf) {
+  std::vector<std::string> parts = Split(path);
+  if (parts.empty()) {
+    return InvalidArgument("path has no leaf component");
+  }
+  *leaf = parts.back();
+  Oid current = session_->Root();
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto child = session_->Lookup(current, parts[i]);
+    if (!child.ok()) {
+      return child.status();
+    }
+    auto attr = session_->GetAttr(*child);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    if (attr->type == FileType::kSymlink) {
+      auto target = session_->Readlink(*child);
+      if (!target.ok()) {
+        return target.status();
+      }
+      auto resolved = ResolveFrom(current, *target, 1);
+      if (!resolved.ok()) {
+        return resolved.status();
+      }
+      current = *resolved;
+    } else {
+      current = *child;
+    }
+  }
+  return current;
+}
+
+Result<Oid> PathWalker::MakeDirs(const std::string& path, uint32_t mode) {
+  Oid current = session_->Root();
+  for (const std::string& part : Split(path)) {
+    auto child = session_->Lookup(current, part);
+    if (child.ok()) {
+      current = *child;
+      continue;
+    }
+    auto made = session_->Mkdir(current, part, mode);
+    if (!made.ok()) {
+      return made.status();
+    }
+    current = *made;
+  }
+  return current;
+}
+
+Result<Oid> PathWalker::WriteFile(const std::string& path, BytesView data) {
+  std::string leaf;
+  auto parent = ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  Oid file;
+  auto existing = session_->Lookup(*parent, leaf);
+  if (existing.ok()) {
+    file = *existing;
+    SetAttrs truncate;
+    truncate.size = 0;
+    auto truncated = session_->SetAttr(file, truncate);
+    if (!truncated.ok()) {
+      return truncated.status();
+    }
+  } else {
+    auto created = session_->Create(*parent, leaf);
+    if (!created.ok()) {
+      return created.status();
+    }
+    file = *created;
+  }
+  if (!data.empty()) {
+    auto written = session_->Write(file, 0, data);
+    if (!written.ok()) {
+      return written.status();
+    }
+  }
+  return file;
+}
+
+Result<Bytes> PathWalker::ReadFile(const std::string& path) {
+  auto file = Resolve(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  auto attr = session_->GetAttr(*file);
+  if (!attr.ok()) {
+    return attr.status();
+  }
+  if (attr->type != FileType::kRegular) {
+    return FailedPrecondition("not a regular file");
+  }
+  return session_->Read(*file, 0, static_cast<uint32_t>(attr->size));
+}
+
+Status PathWalker::RemoveRecursive(const std::string& path) {
+  std::string leaf;
+  auto parent = ResolveParent(path, &leaf);
+  if (!parent.ok()) {
+    return parent.status();
+  }
+  return RemoveRecursiveAt(*parent, leaf);
+}
+
+Status PathWalker::RemoveRecursiveAt(Oid dir, const std::string& name) {
+  auto target = session_->Lookup(dir, name);
+  if (!target.ok()) {
+    return target.status();
+  }
+  auto attr = session_->GetAttr(*target);
+  if (!attr.ok()) {
+    return attr.status();
+  }
+  if (attr->type != FileType::kDirectory) {
+    return session_->Remove(dir, name);
+  }
+  auto listing = session_->Readdir(*target);
+  if (!listing.ok()) {
+    return listing.status();
+  }
+  for (const auto& [child_name, child_oid] : *listing) {
+    (void)child_oid;
+    Status s = RemoveRecursiveAt(*target, child_name);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return session_->Rmdir(dir, name);
+}
+
+}  // namespace bftbase

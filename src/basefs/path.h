@@ -1,0 +1,61 @@
+// Pathname resolution over any FsSession.
+//
+// The NFS protocol itself is handle-based (one LOOKUP per component — the
+// kernel client does the walking); applications think in paths. PathWalker
+// provides that client-side walking, including symbolic-link resolution with
+// a loop bound, plus mkdir -p and recursive removal conveniences used by the
+// examples and workloads.
+#ifndef SRC_BASEFS_PATH_H_
+#define SRC_BASEFS_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/basefs/fs_session.h"
+
+namespace bftbase {
+
+class PathWalker {
+ public:
+  // Maximum symlink traversals per resolution (ELOOP bound).
+  static constexpr int kMaxSymlinkDepth = 8;
+
+  explicit PathWalker(FsSession* session) : session_(session) {}
+
+  // Splits "/a//b/c/" into {"a", "b", "c"}. "." components are dropped;
+  // ".." is resolved lexically against the components seen so far (the
+  // abstract spec's directories have no physical "..").
+  static std::vector<std::string> Split(const std::string& path);
+
+  // Resolves a path to an oid, following symlinks in intermediate and final
+  // components. Relative paths resolve against `base` (default: root).
+  Result<Oid> Resolve(const std::string& path);
+  Result<Oid> ResolveFrom(Oid base, const std::string& path, int depth = 0);
+
+  // Resolves all but the last component; returns the directory oid and
+  // stores the final name in *leaf. Fails on empty paths or paths ending in
+  // "/" where a leaf name is required.
+  Result<Oid> ResolveParent(const std::string& path, std::string* leaf);
+
+  // mkdir -p: creates intermediate directories as needed; returns the oid
+  // of the deepest directory.
+  Result<Oid> MakeDirs(const std::string& path, uint32_t mode = 0755);
+
+  // Creates/overwrites a file at `path` with `data` (truncate + write).
+  Result<Oid> WriteFile(const std::string& path, BytesView data);
+
+  // Reads a whole file by path.
+  Result<Bytes> ReadFile(const std::string& path);
+
+  // rm -r: removes the named entry and, for directories, everything below.
+  Status RemoveRecursive(const std::string& path);
+  // Same, addressed as (directory oid, entry name); used for the recursion.
+  Status RemoveRecursiveAt(Oid dir, const std::string& name);
+
+ private:
+  FsSession* session_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BASEFS_PATH_H_

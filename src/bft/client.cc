@@ -1,0 +1,183 @@
+#include "src/bft/client.h"
+
+#include <cassert>
+
+#include "src/util/log.h"
+
+namespace bftbase {
+
+Client::Client(Simulation* sim, KeyTable* keys, const Config& config,
+               NodeId id)
+    : sim_(sim), config_(config), id_(id), channel_(sim, keys, config, id) {
+  assert(config.IsClient(id));
+  sim_->AddNode(id_, this);
+}
+
+void Client::Invoke(Bytes op, bool read_only, Callback callback) {
+  assert(!pending_.has_value() && "one outstanding operation per client");
+  Pending p;
+  p.timestamp = next_timestamp_++;
+  p.op = std::move(op);
+  p.read_only = read_only && config_.read_only_optimization;
+  p.tentative_phase = p.read_only;
+  p.callback = std::move(callback);
+  p.start_time = sim_->Now();
+  pending_ = std::move(p);
+  SendRequest(/*to_all=*/pending_->read_only);
+}
+
+Result<Bytes> Client::InvokeSync(Bytes op, bool read_only, SimTime timeout) {
+  Status status = Unavailable("timed out");
+  Bytes result;
+  bool done = false;
+  Invoke(std::move(op), read_only, [&](Status s, Bytes r) {
+    status = std::move(s);
+    result = std::move(r);
+    done = true;
+  });
+  sim_->RunUntilTrue([&] { return done; }, sim_->Now() + timeout);
+  if (!done) {
+    // Abandon the operation so the client can be reused; late replies for
+    // this timestamp will be ignored.
+    if (pending_.has_value()) {
+      if (pending_->retry_timer != 0) {
+        sim_->Cancel(pending_->retry_timer);
+      }
+      pending_.reset();
+    }
+    return Unavailable("operation timed out");
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  return result;
+}
+
+void Client::SendRequest(bool to_all) {
+  Pending& p = *pending_;
+  RequestMsg req;
+  req.client = id_;
+  req.timestamp = p.timestamp;
+  req.read_only = p.tentative_phase;
+  req.op = p.op;
+  Bytes payload = req.Encode();
+  ++p.attempts;
+
+  // Requests carry an authenticator so every replica can verify them.
+  Bytes wire = channel_.SealAuthenticated(MsgType::kRequest, payload);
+  if (to_all || p.attempts > 1) {
+    channel_.MulticastReplicas(wire, /*include_self=*/false);
+  } else {
+    channel_.Send(config_.PrimaryOf(last_known_view_), std::move(wire));
+  }
+
+  // Exponential backoff on retransmission.
+  SimTime timeout = config_.client_retry_timeout
+                    << std::min(p.attempts - 1, 6);
+  p.retry_timer = sim_->After(id_, timeout, [this] { OnRetryTimeout(); });
+}
+
+void Client::OnRetryTimeout() {
+  if (!pending_.has_value()) {
+    return;
+  }
+  Pending& p = *pending_;
+  ++retries_;
+  if (p.tentative_phase) {
+    // The read-only fast path did not assemble a 2f+1 quorum in time (e.g.
+    // replicas were mid-recovery); fall back to the ordered protocol.
+    p.tentative_phase = false;
+    p.votes.clear();
+    p.tentative_votes.clear();
+    p.full_results.clear();
+  }
+  SendRequest(/*to_all=*/true);
+}
+
+void Client::OnMessage(NodeId /*from*/, const Bytes& wire) {
+  auto opened = channel_.Open(wire);
+  if (!opened.ok()) {
+    LOG_DEBUG << "client " << id_ << " rejects message: "
+              << opened.status().ToString();
+    return;
+  }
+  if (opened->type != MsgType::kReply) {
+    return;
+  }
+  auto reply = ReplyMsg::Decode(opened->payload);
+  if (!reply.ok() || reply->replica != opened->sender ||
+      !config_.IsReplica(reply->replica)) {
+    return;
+  }
+  HandleReply(*reply);
+}
+
+void Client::HandleReply(const ReplyMsg& reply) {
+  if (!pending_.has_value() || reply.timestamp != pending_->timestamp ||
+      reply.client != id_) {
+    return;
+  }
+  Pending& p = *pending_;
+  if (reply.view > last_known_view_) {
+    last_known_view_ = reply.view;
+  }
+
+  Digest digest = reply.ResultDigest();
+  if (!reply.result_is_digest) {
+    p.full_results[digest] = reply.result;
+  }
+  if (reply.tentative) {
+    p.tentative_votes[digest].insert(reply.replica);
+  } else {
+    p.votes[digest].insert(reply.replica);
+    // A definitive reply also supports the tentative tally.
+    p.tentative_votes[digest].insert(reply.replica);
+  }
+
+  // Definitive quorum: f+1 matching replies.
+  const size_t definitive_quorum = static_cast<size_t>(config_.f + 1);
+  // Tentative quorum: 2f+1 matching replies.
+  const size_t tentative_quorum = static_cast<size_t>(config_.quorum());
+
+  auto deliver = [&](const Digest& d) -> bool {
+    auto it = p.full_results.find(d);
+    if (it == p.full_results.end()) {
+      // Quorum on the digest but nobody sent the full result yet (the
+      // designated replier may be faulty). Retransmit; replicas answer
+      // retransmissions with full results.
+      return false;
+    }
+    Bytes result = it->second;
+    Complete(Status::Ok(), std::move(result));
+    return true;
+  };
+
+  auto vote_it = p.votes.find(digest);
+  if (vote_it != p.votes.end() && vote_it->second.size() >= definitive_quorum) {
+    if (deliver(digest)) {
+      return;
+    }
+  }
+  if (p.tentative_phase) {
+    auto tent_it = p.tentative_votes.find(digest);
+    if (tent_it != p.tentative_votes.end() &&
+        tent_it->second.size() >= tentative_quorum) {
+      if (deliver(digest)) {
+        return;
+      }
+    }
+  }
+}
+
+void Client::Complete(Status status, Bytes result) {
+  Pending p = std::move(*pending_);
+  pending_.reset();
+  if (p.retry_timer != 0) {
+    sim_->Cancel(p.retry_timer);
+  }
+  ++operations_completed_;
+  last_latency_ = sim_->Now() - p.start_time;
+  p.callback(std::move(status), std::move(result));
+}
+
+}  // namespace bftbase

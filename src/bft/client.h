@@ -1,0 +1,82 @@
+// BFT client: carries out the client side of the replication protocol.
+//
+// invoke() from the paper's Figure 1. One outstanding operation at a time
+// (PBFT semantics); the result is accepted once f+1 replicas sent matching
+// replies (2f+1 for tentative replies under the read-only optimization).
+#ifndef SRC_BFT_CLIENT_H_
+#define SRC_BFT_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/bft/channel.h"
+#include "src/bft/config.h"
+#include "src/bft/message.h"
+#include "src/sim/simulation.h"
+#include "src/util/status.h"
+
+namespace bftbase {
+
+class Client : public SimNode {
+ public:
+  Client(Simulation* sim, KeyTable* keys, const Config& config, NodeId id);
+
+  // Invokes `op` on the replicated service. The callback fires exactly once,
+  // inside the simulation, with the agreed result.
+  using Callback = std::function<void(Status, Bytes)>;
+  void Invoke(Bytes op, bool read_only, Callback callback);
+
+  // Convenience for tests and workloads: runs the simulation until the
+  // operation completes or `timeout` virtual time passes.
+  Result<Bytes> InvokeSync(Bytes op, bool read_only,
+                           SimTime timeout = 60 * kSecond);
+
+  void OnMessage(NodeId from, const Bytes& wire) override;
+
+  NodeId id() const { return id_; }
+  bool busy() const { return pending_.has_value(); }
+  uint64_t operations_completed() const { return operations_completed_; }
+  uint64_t retries() const { return retries_; }
+  // Virtual-time latency of the most recently completed operation.
+  SimTime last_latency() const { return last_latency_; }
+
+ private:
+  struct Pending {
+    uint64_t timestamp = 0;
+    Bytes op;
+    bool read_only = false;
+    bool tentative_phase = false;  // still hoping for the read-only fast path
+    Callback callback;
+    // result digest -> replicas that voted for it (tentative and definitive
+    // replies are tallied separately: a definitive vote also counts toward
+    // the tentative tally but not vice versa).
+    std::map<Digest, std::set<NodeId>> votes;
+    std::map<Digest, std::set<NodeId>> tentative_votes;
+    std::map<Digest, Bytes> full_results;  // digest -> full result bytes
+    TimerId retry_timer = 0;
+    int attempts = 0;
+    SimTime start_time = 0;
+  };
+
+  void SendRequest(bool to_all);
+  void OnRetryTimeout();
+  void HandleReply(const ReplyMsg& reply);
+  void Complete(Status status, Bytes result);
+
+  Simulation* sim_;
+  Config config_;
+  NodeId id_;
+  Channel channel_;
+  uint64_t next_timestamp_ = 1;
+  ViewNum last_known_view_ = 0;
+  std::optional<Pending> pending_;
+  uint64_t operations_completed_ = 0;
+  uint64_t retries_ = 0;
+  SimTime last_latency_ = 0;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BFT_CLIENT_H_

@@ -1,0 +1,76 @@
+// Static configuration of a BFT service group.
+//
+// A group has n = 3f+1 replicas with node ids [0, n) and clients with node
+// ids [n, n + max_clients). The primary of view v is replica v mod n.
+#ifndef SRC_BFT_CONFIG_H_
+#define SRC_BFT_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+using SeqNum = uint64_t;
+using ViewNum = uint64_t;
+
+struct Config {
+  // Fault threshold. n = 3f+1 replicas tolerate f Byzantine faults.
+  int f = 1;
+  // Number of client slots (client node ids are n() .. n()+max_clients-1).
+  int max_clients = 16;
+
+  // Checkpoint period: a checkpoint is taken after executing every
+  // checkpoint_interval-th request (the paper's k, e.g. k = 128).
+  SeqNum checkpoint_interval = 128;
+  // Log window size L (high watermark = low + log_window). Must be a
+  // multiple of checkpoint_interval and at least twice it.
+  SeqNum log_window = 256;
+
+  // Maximum number of requests the primary folds into one pre-prepare.
+  int max_batch = 8;
+  // Maximum number of unexecuted batches the primary keeps in flight;
+  // requests arriving while the pipeline is full are batched together
+  // (PBFT's request batching).
+  int max_in_flight_batches = 2;
+
+  // View-change timeout: a backup that has accepted a request but not
+  // executed it within this time suspects the primary.
+  SimTime view_change_timeout = 500 * kMillisecond;
+  // Client retransmission timeout.
+  SimTime client_retry_timeout = 300 * kMillisecond;
+
+  // When the primary has been idle this long it proposes a null request
+  // (empty batch), so sequence numbers — and therefore checkpoints — keep
+  // advancing even without client traffic. Recovering and lagging replicas
+  // depend on fresh checkpoints to rejoin promptly (PBFT's null requests).
+  // 0 disables the heartbeat.
+  SimTime null_request_interval = 1 * kSecond;
+
+  // When true, only the designated replier sends the full result to the
+  // client; others send a result digest (PBFT's reply optimization).
+  bool digest_replies = true;
+  // When true, read-only requests are executed tentatively without ordering
+  // (client needs 2f+1 matching replies instead of f+1).
+  bool read_only_optimization = true;
+
+  int n() const { return 3 * f + 1; }
+  int quorum() const { return 2 * f + 1; }  // 2f+1
+  int prepared_quorum() const { return 2 * f; }  // prepares besides pre-prepare
+
+  NodeId PrimaryOf(ViewNum view) const {
+    return static_cast<NodeId>(view % static_cast<ViewNum>(n()));
+  }
+  NodeId ClientId(int index) const { return n() + index; }
+  bool IsReplica(NodeId id) const { return id >= 0 && id < n(); }
+  bool IsClient(NodeId id) const {
+    return id >= n() && id < n() + max_clients;
+  }
+  // Total number of principals that need pairwise keys.
+  int node_count() const { return n() + max_clients; }
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BFT_CONFIG_H_

@@ -1,0 +1,738 @@
+#include "src/bft/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/codec.h"
+#include "src/util/log.h"
+
+namespace bftbase {
+
+Replica::Replica(Simulation* sim, KeyTable* keys, const Config& config,
+                 NodeId id, ServiceInterface* service)
+    : sim_(sim),
+      keys_(keys),
+      config_(config),
+      id_(id),
+      service_(service),
+      channel_(sim, keys, config, id),
+      view_change_timeout_(config.view_change_timeout) {
+  assert(config.IsReplica(id));
+  sim_->AddNode(id_, this);
+  service_->SetStateSender([this](NodeId to, const Bytes& payload) {
+    channel_.Send(to, channel_.SealMac(MsgType::kState, payload, to));
+  });
+  service_->SetStateTransferDone([this](SeqNum seq, const Digest& digest) {
+    OnStateTransferDone(seq, digest);
+  });
+  ArmNullRequestTimer();
+}
+
+// ----------------------------------------------------- null-request ticks
+
+void Replica::ArmNullRequestTimer() {
+  if (config_.null_request_interval <= 0) {
+    return;
+  }
+  null_timer_marker_ = next_seq_;
+  null_request_timer_ = sim_->After(id_, config_.null_request_interval,
+                                    [this] { OnNullRequestTimer(); });
+}
+
+void Replica::OnNullRequestTimer() {
+  null_request_timer_ = 0;
+  // Only the primary proposes, and only when the pipeline is fully idle:
+  // no proposals since the timer was armed and everything executed.
+  if (IsPrimary() && !in_view_change_ && !recovering_ && !fetching_state_ &&
+      next_seq_ == null_timer_marker_ && last_executed_ + 1 == next_seq_ &&
+      InWindow(next_seq_)) {
+    PrePrepareMsg pp;
+    pp.view = view_;
+    pp.seq = next_seq_++;
+    pp.nondet = service_->ProposeNondet();
+    // requests stays empty: the null request.
+    Bytes wire = channel_.SealSigned(MsgType::kPrePrepare, pp.Encode());
+    LogEntry& entry = log_.Get(pp.seq);
+    entry.view = view_;
+    entry.digest = pp.ComputeDigest();
+    entry.pre_prepare = std::move(pp);
+    entry.pre_prepare_wire = wire;
+    channel_.MulticastReplicas(wire, /*include_self=*/false);
+  }
+  ArmNullRequestTimer();
+}
+
+void Replica::OnMessage(NodeId /*from*/, const Bytes& wire) {
+  if (mute_) {
+    return;
+  }
+  auto opened = channel_.Open(wire);
+  if (!opened.ok()) {
+    LOG_DEBUG << "replica " << id_ << " rejects message: "
+              << opened.status().ToString();
+    return;
+  }
+  const WireMessage& msg = *opened;
+
+  if (recovering_) {
+    // While "rebooted" the replica only talks to the state-transfer
+    // machinery that is rebuilding it.
+    if (msg.type == MsgType::kState && config_.IsReplica(msg.sender)) {
+      service_->HandleStateMessage(msg.sender, msg.payload);
+    }
+    return;
+  }
+
+  switch (msg.type) {
+    case MsgType::kRequest:
+      HandleRequest(msg, wire);
+      break;
+    case MsgType::kPrePrepare:
+      HandlePrePrepare(msg, wire);
+      break;
+    case MsgType::kPrepare:
+      HandlePrepare(msg, wire);
+      break;
+    case MsgType::kCommit:
+      HandleCommit(msg, wire);
+      break;
+    case MsgType::kCheckpoint:
+      HandleCheckpoint(msg, wire);
+      break;
+    case MsgType::kViewChange:
+      HandleViewChange(msg, wire);
+      break;
+    case MsgType::kNewView:
+      HandleNewView(msg);
+      break;
+    case MsgType::kState:
+      if (config_.IsReplica(msg.sender)) {
+        service_->HandleStateMessage(msg.sender, msg.payload);
+      }
+      break;
+    case MsgType::kReply:
+      break;  // replicas do not process replies
+  }
+}
+
+// --------------------------------------------------------------- requests
+
+void Replica::HandleRequest(const WireMessage& msg, const Bytes& wire) {
+  auto request = RequestMsg::Decode(msg.payload);
+  if (!request.ok() || request->client != msg.sender ||
+      !config_.IsClient(request->client)) {
+    return;
+  }
+
+  // Retransmission of an executed request: resend the cached reply.
+  auto ts_it = last_executed_timestamp_.find(request->client);
+  if (ts_it != last_executed_timestamp_.end() &&
+      request->timestamp <= ts_it->second) {
+    auto cache_it = reply_cache_.find(request->client);
+    if (cache_it != reply_cache_.end() &&
+        cache_it->second.timestamp == request->timestamp) {
+      // Retransmission: re-seal the cached result (always the full result so
+      // the client can finish even if the designated replier is faulty).
+      ReplyMsg reply;
+      reply.view = view_;
+      reply.timestamp = cache_it->second.timestamp;
+      reply.client = request->client;
+      reply.replica = id_;
+      reply.result = cache_it->second.result;
+      channel_.Send(request->client,
+                    channel_.SealMac(MsgType::kReply, reply.Encode(),
+                                     request->client));
+    }
+    return;
+  }
+
+  if (request->read_only) {
+    ExecuteReadOnly(*request);
+    return;
+  }
+
+  Digest digest = request->ComputeDigest();
+  if (pending_requests_.find(digest) == pending_requests_.end()) {
+    PendingRequest pending;
+    pending.request = *request;
+    pending.client_wire = wire;
+    pending.received_at = sim_->Now();
+    pending_requests_.emplace(digest, std::move(pending));
+  }
+
+  if (IsPrimary() && !in_view_change_) {
+    MaybeSendPrePrepare();
+  } else if (!in_view_change_) {
+    // Backup: relay the client's envelope to the primary (the client's own
+    // authenticator makes it verifiable there) and start suspecting the
+    // primary if it fails to order the request.
+    channel_.Send(config_.PrimaryOf(view_), wire);
+    ArmViewChangeTimer();
+  }
+}
+
+void Replica::MaybeSendPrePrepare() {
+  while (!pending_requests_.empty() && InWindow(next_seq_) &&
+         next_seq_ <= last_executed_ +
+                          static_cast<SeqNum>(config_.max_in_flight_batches)) {
+    PrePrepareMsg pp;
+    pp.view = view_;
+    pp.seq = next_seq_;
+    pp.nondet = service_->ProposeNondet();
+    // Batch up to max_batch pending requests. The batch embeds the clients'
+    // original authenticated envelopes so backups can verify them.
+    std::vector<Digest> batched;
+    for (const auto& [digest, pending] : pending_requests_) {
+      pp.requests.push_back(pending.client_wire);
+      batched.push_back(digest);
+      if (pp.requests.size() >= static_cast<size_t>(config_.max_batch)) {
+        break;
+      }
+    }
+    ++next_seq_;
+
+    Bytes payload = pp.Encode();
+    Bytes wire = channel_.SealSigned(MsgType::kPrePrepare, payload);
+
+    LogEntry& entry = log_.Get(pp.seq);
+    entry.pre_prepare = pp;
+    entry.pre_prepare_wire = wire;
+    entry.view = view_;
+    entry.digest = pp.ComputeDigest();
+
+    if (equivocate_) {
+      // Byzantine primary: send a conflicting batch (different nondet) to
+      // half of the backups. Correct backups cannot assemble a prepared
+      // certificate and will eventually change views.
+      PrePrepareMsg evil = pp;
+      evil.nondet.push_back(0xEE);
+      Bytes evil_wire =
+          channel_.SealSigned(MsgType::kPrePrepare, evil.Encode());
+      for (NodeId r = 0; r < config_.n(); ++r) {
+        if (r == id_) {
+          continue;
+        }
+        channel_.Send(r, (r % 2 == 0) ? wire : evil_wire);
+      }
+    } else {
+      channel_.MulticastReplicas(wire, /*include_self=*/false);
+    }
+
+    // Batched requests leave the pending set; clients retransmit if a view
+    // change drops them.
+    for (const Digest& d : batched) {
+      pending_requests_.erase(d);
+    }
+    TryPrepared(pp.seq);
+  }
+}
+
+// ------------------------------------------------------------ pre-prepare
+
+void Replica::HandlePrePrepare(const WireMessage& msg, const Bytes& wire) {
+  auto pp = PrePrepareMsg::Decode(msg.payload);
+  if (!pp.ok()) {
+    return;
+  }
+  if (msg.auth != AuthKind::kSigned) {
+    return;  // pre-prepares must be transferable for view-change proofs
+  }
+  if (msg.sender != config_.PrimaryOf(pp->view)) {
+    return;
+  }
+  if (pp->view > view_ || (pp->view == view_ && in_view_change_)) {
+    StashWire(wire);  // early: we have not installed that view yet
+    return;
+  }
+  if (pp->view != view_ || fetching_state_ || !InWindow(pp->seq)) {
+    return;
+  }
+
+  Digest digest = pp->ComputeDigest();
+  LogEntry& entry = log_.Get(pp->seq);
+  if (entry.pre_prepare.has_value() && entry.view == pp->view) {
+    if (entry.digest != digest) {
+      LOG_WARN << "replica " << id_ << ": conflicting pre-prepare for seq "
+               << pp->seq << " in view " << pp->view;
+    }
+    return;  // already accepted one for this (view, seq)
+  }
+
+  // Validate the batched client envelopes (authenticators included) and the
+  // proposed non-deterministic input.
+  for (const Bytes& req_wire : pp->requests) {
+    auto req_env = channel_.Open(req_wire);
+    if (!req_env.ok() || req_env->type != MsgType::kRequest) {
+      return;
+    }
+    auto request = RequestMsg::Decode(req_env->payload);
+    if (!request.ok() || request->client != req_env->sender ||
+        !config_.IsClient(request->client)) {
+      return;
+    }
+  }
+  if (!service_->CheckNondet(pp->nondet)) {
+    LOG_WARN << "replica " << id_ << ": rejecting nondet proposal at seq "
+             << pp->seq;
+    return;
+  }
+
+  entry.pre_prepare = std::move(*pp);
+  entry.pre_prepare_wire = wire;  // kept for view-change proofs
+  entry.view = entry.pre_prepare->view;
+  entry.digest = digest;
+
+  // Send PREPARE (signed, so it can serve in prepared proofs).
+  PrepareMsg prepare;
+  prepare.view = entry.view;
+  prepare.seq = entry.pre_prepare->seq;
+  prepare.digest = digest;
+  prepare.replica = id_;
+  Bytes prepare_wire = channel_.SealSigned(MsgType::kPrepare, prepare.Encode());
+  entry.prepare_pool[id_] = LogEntry::Vote{digest, prepare_wire};
+  channel_.MulticastReplicas(prepare_wire, /*include_self=*/false);
+
+  ArmViewChangeTimer();
+  TryPrepared(entry.pre_prepare->seq);
+}
+
+void Replica::HandlePrepare(const WireMessage& msg, const Bytes& wire) {
+  auto prepare = PrepareMsg::Decode(msg.payload);
+  if (!prepare.ok() || prepare->replica != msg.sender ||
+      !config_.IsReplica(msg.sender)) {
+    return;
+  }
+  if (msg.auth != AuthKind::kSigned) {
+    return;
+  }
+  if (prepare->view > view_ || (prepare->view == view_ && in_view_change_)) {
+    StashWire(wire);
+    return;
+  }
+  if (prepare->view != view_ || !InWindow(prepare->seq)) {
+    return;
+  }
+  if (msg.sender == config_.PrimaryOf(prepare->view)) {
+    return;  // the primary's pre-prepare is its prepare
+  }
+  LogEntry& entry = log_.Get(prepare->seq);
+  // Keep the raw envelope for prepared proofs.
+  entry.prepare_pool[msg.sender] = LogEntry::Vote{prepare->digest, wire};
+  TryPrepared(prepare->seq);
+}
+
+void Replica::HandleCommit(const WireMessage& msg, const Bytes& wire) {
+  auto commit = CommitMsg::Decode(msg.payload);
+  if (!commit.ok() || commit->replica != msg.sender ||
+      !config_.IsReplica(msg.sender)) {
+    return;
+  }
+  if (commit->view > view_ || (commit->view == view_ && in_view_change_)) {
+    StashWire(wire);
+    return;
+  }
+  if (commit->view != view_ || !InWindow(commit->seq)) {
+    return;
+  }
+  LogEntry& entry = log_.Get(commit->seq);
+  entry.commit_pool[msg.sender] = commit->digest;
+  TryCommitted(commit->seq);
+}
+
+void Replica::TryPrepared(SeqNum seq) {
+  LogEntry& entry = log_.Get(seq);
+  if (entry.prepared || !entry.pre_prepare.has_value()) {
+    return;
+  }
+  // prepared(m, v, n, i): the pre-prepare plus 2f matching prepares from
+  // distinct replicas (the primary's pre-prepare stands in for its prepare;
+  // our own prepare is in the pool).
+  size_t needed = static_cast<size_t>(config_.prepared_quorum());
+  bool is_primary_entry = config_.PrimaryOf(entry.view) == id_;
+  size_t have = entry.MatchingPrepares();
+  // The primary has no own prepare in the pool; it needs 2f from backups.
+  // A backup's own prepare is in the pool, so it needs 2f total as well
+  // (its own plus 2f-1 others ... plus the implicit primary pre-prepare).
+  (void)is_primary_entry;
+  if (have < needed) {
+    return;
+  }
+  entry.prepared = true;
+
+  CommitMsg commit;
+  commit.view = entry.view;
+  commit.seq = seq;
+  commit.digest = entry.digest;
+  commit.replica = id_;
+  Bytes wire =
+      channel_.SealAuthenticated(MsgType::kCommit, commit.Encode());
+  entry.commit_pool[id_] = entry.digest;
+  channel_.MulticastReplicas(wire, /*include_self=*/false);
+  TryCommitted(seq);
+}
+
+void Replica::TryCommitted(SeqNum seq) {
+  LogEntry& entry = log_.Get(seq);
+  if (entry.committed || !entry.prepared) {
+    return;
+  }
+  if (entry.MatchingCommits() < static_cast<size_t>(config_.quorum())) {
+    return;
+  }
+  entry.committed = true;
+  ExecuteReady();
+}
+
+// ---------------------------------------------------------------- execute
+
+void Replica::ExecuteReady() {
+  for (;;) {
+    SeqNum next = last_executed_ + 1;
+    auto* entry = log_.Find(next);
+    if (entry == nullptr || !entry->committed || entry->executed) {
+      break;
+    }
+    ExecuteBatch(next, log_.Get(next));
+  }
+}
+
+void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
+  assert(entry.pre_prepare.has_value());
+  const PrePrepareMsg& pp = *entry.pre_prepare;
+  for (const Bytes& req_wire : pp.requests) {
+    // Envelopes were authenticated when the pre-prepare was accepted.
+    auto req_env = Channel::ParseUnverified(req_wire);
+    if (!req_env.ok()) {
+      continue;
+    }
+    auto request = RequestMsg::Decode(req_env->payload);
+    if (!request.ok()) {
+      continue;  // validated at accept time; cannot happen for correct nodes
+    }
+    auto ts_it = last_executed_timestamp_.find(request->client);
+    if (ts_it != last_executed_timestamp_.end() &&
+        request->timestamp <= ts_it->second) {
+      continue;  // duplicate slipped into a batch; execute-once semantics
+    }
+    Bytes result = service_->Execute(request->op, request->client, pp.nondet,
+                                     /*tentative=*/false);
+    last_executed_timestamp_[request->client] = request->timestamp;
+    ++requests_executed_;
+    SendReply(*request, std::move(result), /*tentative=*/false);
+    pending_requests_.erase(request->ComputeDigest());
+  }
+  entry.executed = true;
+  last_executed_ = seq;
+  ++batches_executed_;
+
+  // Progress was made; restart the fault timer (or disarm it if idle).
+  if (pending_requests_.empty()) {
+    DisarmViewChangeTimer();
+  } else {
+    ArmViewChangeTimer();
+  }
+
+  MaybeTakeCheckpoint();
+  if (IsPrimary() && !in_view_change_) {
+    MaybeSendPrePrepare();
+  }
+}
+
+void Replica::SendReply(const RequestMsg& request, Bytes result,
+                        bool tentative) {
+  if (corrupt_replies_ && !result.empty()) {
+    for (uint8_t& b : result) {
+      b ^= 0x5a;
+    }
+  }
+  ReplyMsg reply;
+  reply.view = view_;
+  reply.timestamp = request.timestamp;
+  reply.client = request.client;
+  reply.replica = id_;
+  reply.tentative = tentative;
+
+  // Designated-replier optimization: only one replica sends the full result.
+  bool send_full = !config_.digest_replies ||
+                   static_cast<NodeId>(request.timestamp %
+                                       static_cast<uint64_t>(config_.n())) ==
+                       id_;
+  if (!tentative) {
+    reply_cache_[request.client] = CachedReply{request.timestamp, result};
+  }
+  if (send_full) {
+    ReplyMsg full = reply;
+    full.result_is_digest = false;
+    full.result = result;
+    channel_.Send(request.client,
+                  channel_.SealMac(MsgType::kReply, full.Encode(),
+                                   request.client));
+  } else {
+    ReplyMsg digest_reply = reply;
+    digest_reply.result_is_digest = true;
+    digest_reply.result = Digest::Of(result).ToBytes();
+    channel_.Send(request.client,
+                  channel_.SealMac(MsgType::kReply, digest_reply.Encode(),
+                                   request.client));
+  }
+}
+
+void Replica::ExecuteReadOnly(const RequestMsg& request) {
+  if (fetching_state_ || in_view_change_) {
+    return;  // cannot answer consistently right now; client will fall back
+  }
+  Bytes result = service_->Execute(request.op, request.client, Bytes(),
+                                   /*tentative=*/true);
+  SendReply(request, std::move(result), /*tentative=*/true);
+}
+
+// ------------------------------------------------------------- stash
+
+void Replica::StashWire(const Bytes& wire) {
+  if (stashed_wires_.size() >= kMaxStashedWires) {
+    stashed_wires_.pop_front();
+  }
+  stashed_wires_.push_back(wire);
+}
+
+void Replica::ReplayStashedWires() {
+  std::deque<Bytes> pending;
+  pending.swap(stashed_wires_);
+  for (const Bytes& wire : pending) {
+    OnMessage(id_, wire);  // re-dispatch; still-early messages re-stash
+  }
+}
+
+// ------------------------------------------------------------ reply cache
+
+Bytes Replica::EncodeReplyCache() const {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(last_executed_timestamp_.size()));
+  for (const auto& [client, timestamp] : last_executed_timestamp_) {
+    enc.PutU32(static_cast<uint32_t>(client));
+    enc.PutU64(timestamp);
+    auto it = reply_cache_.find(client);
+    if (it != reply_cache_.end() && it->second.timestamp == timestamp) {
+      enc.PutBool(true);
+      enc.PutBytes(it->second.result);
+    } else {
+      enc.PutBool(false);
+    }
+  }
+  return enc.Take();
+}
+
+void Replica::DecodeReplyCache(BytesView blob) {
+  if (blob.empty()) {
+    return;
+  }
+  Decoder dec(blob);
+  uint32_t count = dec.GetU32();
+  std::map<NodeId, uint64_t> timestamps;
+  std::map<NodeId, CachedReply> cache;
+  for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+    NodeId client = static_cast<NodeId>(dec.GetU32());
+    uint64_t timestamp = dec.GetU64();
+    timestamps[client] = timestamp;
+    if (dec.GetBool()) {
+      Bytes result = dec.GetBytes();
+      cache[client] = CachedReply{timestamp, std::move(result)};
+    }
+  }
+  if (!dec.ok()) {
+    LOG_WARN << "replica " << id_ << ": malformed reply-cache blob";
+    return;
+  }
+  last_executed_timestamp_ = std::move(timestamps);
+  reply_cache_ = std::move(cache);
+}
+
+// -------------------------------------------------------------- checkpoint
+
+void Replica::MaybeTakeCheckpoint() {
+  if (last_executed_ == 0 ||
+      last_executed_ % config_.checkpoint_interval != 0) {
+    return;
+  }
+  SeqNum seq = last_executed_;
+  service_->SetProtocolState(EncodeReplyCache());
+  Digest digest = service_->TakeCheckpoint(seq);
+  BroadcastCheckpointVote(seq, digest);
+}
+
+void Replica::BroadcastCheckpointVote(SeqNum seq, const Digest& digest) {
+  CheckpointMsg checkpoint;
+  checkpoint.seq = seq;
+  checkpoint.state_digest = digest;
+  checkpoint.replica = id_;
+  Bytes wire =
+      channel_.SealSigned(MsgType::kCheckpoint, checkpoint.Encode());
+  checkpoint_votes_[seq][id_] = CheckpointVote{digest, wire};
+  channel_.MulticastReplicas(wire, /*include_self=*/false);
+  TryStabilizeCheckpoint(seq);
+}
+
+void Replica::HandleCheckpoint(const WireMessage& msg, const Bytes& wire) {
+  auto checkpoint = CheckpointMsg::Decode(msg.payload);
+  if (!checkpoint.ok() || checkpoint->replica != msg.sender ||
+      !config_.IsReplica(msg.sender)) {
+    return;
+  }
+  if (msg.auth != AuthKind::kSigned) {
+    return;  // checkpoint messages serve in view-change proofs
+  }
+  if (checkpoint->seq <= stable_seq_) {
+    return;
+  }
+  checkpoint_votes_[checkpoint->seq][msg.sender] =
+      CheckpointVote{checkpoint->state_digest, wire};
+  TryStabilizeCheckpoint(checkpoint->seq);
+}
+
+void Replica::TryStabilizeCheckpoint(SeqNum seq) {
+  if (seq <= stable_seq_) {
+    return;
+  }
+  auto votes_it = checkpoint_votes_.find(seq);
+  if (votes_it == checkpoint_votes_.end()) {
+    return;
+  }
+  // Group votes by digest and look for a 2f+1 quorum.
+  std::map<Digest, std::vector<NodeId>> by_digest;
+  for (const auto& [node, vote] : votes_it->second) {
+    by_digest[vote.digest].push_back(node);
+  }
+  for (const auto& [digest, nodes] : by_digest) {
+    if (nodes.size() >= static_cast<size_t>(config_.quorum())) {
+      std::vector<Bytes> proof;
+      for (NodeId node : nodes) {
+        const Bytes& wire = votes_it->second[node].wire;
+        if (!wire.empty()) {
+          proof.push_back(wire);
+        }
+      }
+      AdoptStableCheckpoint(seq, digest, std::move(proof));
+      return;
+    }
+  }
+}
+
+void Replica::AdoptStableCheckpoint(SeqNum seq, const Digest& digest,
+                                    std::vector<Bytes> proof) {
+  if (seq <= stable_seq_) {
+    return;
+  }
+  stable_seq_ = seq;
+  stable_digest_ = digest;
+  if (proof.size() >= static_cast<size_t>(config_.quorum())) {
+    stable_proof_ = std::move(proof);
+    proofed_stable_seq_ = seq;
+    proofed_stable_digest_ = digest;
+  }
+  log_.TruncateBelow(seq);
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.lower_bound(seq + 1));
+  service_->DiscardCheckpointsBefore(seq);
+
+  if (last_executed_ < seq) {
+    // We fell behind the group (missed messages or just recovered): fetch
+    // the checkpointed abstract state instead of replaying the log.
+    MaybeStartStateTransfer(seq, digest);
+  }
+}
+
+// ---------------------------------------------------------- state transfer
+
+void Replica::MaybeStartStateTransfer(SeqNum seq, const Digest& digest) {
+  if (fetching_state_ || recovering_) {
+    return;
+  }
+  LOG_INFO << "replica " << id_ << " starting state transfer to seq " << seq;
+  fetching_state_ = true;
+  service_->StartStateTransfer(seq, digest);
+}
+
+void Replica::OnStateTransferDone(SeqNum seq, const Digest& digest) {
+  if (recovering_) {
+    FinishProactiveRecovery(seq, digest);
+    return;
+  }
+  fetching_state_ = false;
+  if (seq > last_executed_) {
+    last_executed_ = seq;
+    if (next_seq_ <= seq) {
+      next_seq_ = seq + 1;
+    }
+    DecodeReplyCache(service_->GetProtocolState());
+    log_.TruncateBelow(seq);
+    // We now genuinely hold this checkpoint, so vouch for it: our vote may
+    // be the one that lets the group stabilize it and advance the window
+    // (e.g. when another replica's state is corrupt and its votes diverge).
+    if (seq % config_.checkpoint_interval == 0) {
+      BroadcastCheckpointVote(seq, digest);
+    }
+  }
+  ExecuteReady();
+}
+
+// ------------------------------------------------------ proactive recovery
+
+void Replica::EnableProactiveRecovery(SimTime period, SimTime initial_delay) {
+  recovery_period_ = period;
+  sim_->After(id_, initial_delay, [this] {
+    StartProactiveRecovery();
+    // Self-rearm: next watchdog fires one period from now.
+    if (recovery_period_ > 0) {
+      EnableProactiveRecovery(recovery_period_, recovery_period_);
+    }
+  });
+}
+
+void Replica::StartProactiveRecovery() {
+  if (recovering_) {
+    return;
+  }
+  LOG_INFO << "replica " << id_ << " proactive recovery: saving and rebooting";
+  recovering_ = true;
+  recovery_started_at_ = sim_->Now();
+  fetching_state_ = false;
+  DisarmViewChangeTimer();
+
+  // Save the conformance rep, abstract objects and protocol state to disk,
+  // then reboot. Both are charged to the virtual clock; the replica is
+  // unresponsive in between (handled by the recovering_ gate in OnMessage).
+  service_->SetProtocolState(EncodeReplyCache());
+  size_t saved_bytes = service_->SaveForRecovery();
+  SimTime down_time = sim_->cost().DiskWriteCost(saved_bytes) +
+                      sim_->cost().reboot_us;
+  sim_->After(id_, down_time, [this] {
+    // Restarted: fresh session keys, clean concrete state, then rebuild the
+    // abstract state from the saved copy plus fetches from the group.
+    keys_->RefreshKeysFor(id_);
+    service_->RestartFromRecovery();
+    service_->StartStateTransfer(0, Digest());  // 0 = discover latest
+  });
+}
+
+void Replica::FinishProactiveRecovery(SeqNum seq, const Digest& digest) {
+  recovering_ = false;
+  fetching_state_ = false;
+  last_recovery_duration_ = sim_->Now() - recovery_started_at_;
+  ++recoveries_completed_;
+  LOG_INFO << "replica " << id_ << " recovered to seq " << seq << " in "
+           << last_recovery_duration_ / kMillisecond << " ms";
+  last_executed_ = seq;
+  stable_seq_ = seq;
+  stable_digest_ = digest;
+  if (next_seq_ <= seq) {
+    next_seq_ = seq + 1;
+  }
+  DecodeReplyCache(service_->GetProtocolState());
+  log_.Clear();
+  pending_requests_.clear();
+  if (seq > 0 && seq % config_.checkpoint_interval == 0) {
+    BroadcastCheckpointVote(seq, digest);
+  }
+}
+
+}  // namespace bftbase

@@ -1,0 +1,237 @@
+// BFT replica: the PBFT three-phase protocol, checkpointing, view changes,
+// state-transfer triggering and proactive recovery driving.
+//
+// The replica is service-agnostic: execution, checkpoint digests and state
+// transfer are delegated to a ServiceInterface (for BASE services that is
+// base::ReplicaService, which implements them with the abstraction upcalls).
+#ifndef SRC_BFT_REPLICA_H_
+#define SRC_BFT_REPLICA_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/bft/channel.h"
+#include "src/bft/config.h"
+#include "src/bft/log.h"
+#include "src/bft/message.h"
+#include "src/bft/service.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class Replica : public SimNode {
+ public:
+  Replica(Simulation* sim, KeyTable* keys, const Config& config, NodeId id,
+          ServiceInterface* service);
+
+  void OnMessage(NodeId from, const Bytes& wire) override;
+
+  // --- Proactive recovery ---------------------------------------------------
+
+  // Arms a self-rearming watchdog that triggers StartProactiveRecovery every
+  // `period`, first firing after `initial_delay` (use distinct delays per
+  // replica to stagger recoveries so at most f recover at once).
+  void EnableProactiveRecovery(SimTime period, SimTime initial_delay);
+  // Recovers now: saves state to (simulated) disk, reboots, refreshes keys,
+  // restarts the service from a clean state and rebuilds it from the saved
+  // abstract state plus fetches of out-of-date objects.
+  void StartProactiveRecovery();
+  bool recovering() const { return recovering_; }
+  uint64_t recoveries_completed() const { return recoveries_completed_; }
+  SimTime last_recovery_duration() const { return last_recovery_duration_; }
+
+  // --- Introspection --------------------------------------------------------
+  NodeId id() const { return id_; }
+  ViewNum view() const { return view_; }
+  bool IsPrimary() const { return config_.PrimaryOf(view_) == id_; }
+  SeqNum last_executed() const { return last_executed_; }
+  SeqNum stable_seq() const { return stable_seq_; }
+  uint64_t requests_executed() const { return requests_executed_; }
+  uint64_t batches_executed() const { return batches_executed_; }
+  uint64_t view_changes_started() const { return view_changes_started_; }
+  bool in_view_change() const { return in_view_change_; }
+  const Config& config() const { return config_; }
+  ServiceInterface* service() { return service_; }
+
+  // --- Fault-injection hooks (used by tests and experiment E7) --------------
+
+  // Muted replica drops every message (crash/unresponsive model that keeps
+  // the object alive).
+  void SetMute(bool mute) { mute_ = mute; }
+  // Byzantine: sends garbage execution results to clients.
+  void SetCorruptReplies(bool corrupt) { corrupt_replies_ = corrupt; }
+  // Byzantine primary: assigns conflicting digests to the same sequence
+  // number for different backups (forces a view change to resolve).
+  void SetEquivocate(bool equivocate) { equivocate_ = equivocate; }
+
+ private:
+  // --- Null-request heartbeat -------------------------------------------------
+  void ArmNullRequestTimer();
+  void OnNullRequestTimer();
+  TimerId null_request_timer_ = 0;
+  SeqNum null_timer_marker_ = 0;  // next_seq_ when the timer was armed
+
+  // --- Normal-case protocol -------------------------------------------------
+  // Handlers receive both the parsed message and the raw wire envelope; the
+  // wire is retained where it may serve in a transferable proof (pre-prepare,
+  // prepare, checkpoint) or be re-embedded (client requests in batches).
+  void HandleRequest(const WireMessage& msg, const Bytes& wire);
+  void MaybeSendPrePrepare();
+  void HandlePrePrepare(const WireMessage& msg, const Bytes& wire);
+  void HandlePrepare(const WireMessage& msg, const Bytes& wire);
+  void HandleCommit(const WireMessage& msg, const Bytes& wire);
+  void TryPrepared(SeqNum seq);
+  void TryCommitted(SeqNum seq);
+  void ExecuteReady();
+  void ExecuteBatch(SeqNum seq, LogEntry& entry);
+  void SendReply(const RequestMsg& request, Bytes result, bool tentative);
+  void ExecuteReadOnly(const RequestMsg& request);
+  bool InWindow(SeqNum seq) const {
+    return seq > stable_seq_ && seq <= stable_seq_ + config_.log_window;
+  }
+
+  // --- Reply cache -----------------------------------------------------------
+  // Stores raw results (not sealed envelopes): the cache is part of the
+  // checkpointed protocol state, so its encoding must be identical at every
+  // correct replica. Retransmissions re-seal a fresh REPLY from it.
+  // No view field: the cache is part of the agreed checkpoint state, and
+  // the view a request happened to execute in is NOT agreed (a replica that
+  // re-executes reproposals after a view change would diverge).
+  struct CachedReply {
+    uint64_t timestamp = 0;
+    Bytes result;
+  };
+  Bytes EncodeReplyCache() const;
+  void DecodeReplyCache(BytesView blob);
+
+  // --- Checkpoints -----------------------------------------------------------
+  void MaybeTakeCheckpoint();
+  // Signs and multicasts our CHECKPOINT vote for (seq, digest) — used both
+  // for checkpoints we computed and for checkpoints obtained through state
+  // transfer (we hold the state either way, so we may vouch for it).
+  void BroadcastCheckpointVote(SeqNum seq, const Digest& digest);
+  void HandleCheckpoint(const WireMessage& msg, const Bytes& wire);
+  void TryStabilizeCheckpoint(SeqNum seq);
+  void AdoptStableCheckpoint(SeqNum seq, const Digest& digest,
+                             std::vector<Bytes> proof);
+
+  // --- State transfer --------------------------------------------------------
+  void MaybeStartStateTransfer(SeqNum seq, const Digest& digest);
+  void OnStateTransferDone(SeqNum seq, const Digest& digest);
+
+  // --- View changes (replica_view_change.cc) ---------------------------------
+  void ArmViewChangeTimer();
+  void DisarmViewChangeTimer();
+  void OnViewChangeTimeout();
+  void StartViewChange(ViewNum target_view);
+  void HandleViewChange(const WireMessage& msg, const Bytes& wire);
+  void HandleNewView(const WireMessage& msg);
+  void MaybeSendNewView(ViewNum target_view);
+  // Validates a VIEW-CHANGE message's embedded proofs. Returns the parsed
+  // message on success.
+  Result<ViewChangeMsg> ValidateViewChange(const WireMessage& msg);
+  // Computes the new-view pre-prepare set from 2f+1 validated view changes.
+  // Used by the new primary to build NEW-VIEW and by backups to check it.
+  struct NewViewPlan {
+    SeqNum stable_seq = 0;
+    Digest stable_digest;
+    std::vector<Bytes> stable_proof;
+    // seq -> (nondet, requests) reproposals; empty vector = null request.
+    std::map<SeqNum, PrePrepareMsg> pre_prepares;
+  };
+  Result<NewViewPlan> ComputeNewViewPlan(
+      ViewNum target_view, const std::vector<ViewChangeMsg>& view_changes);
+  void EnterNewView(ViewNum target_view, const NewViewPlan& plan,
+                    const std::vector<Bytes>& new_view_pre_prepare_wires);
+
+  // --- Recovery internals ----------------------------------------------------
+  void FinishProactiveRecovery(SeqNum seq, const Digest& digest);
+
+  Simulation* sim_;
+  KeyTable* keys_;
+  Config config_;
+  NodeId id_;
+  ServiceInterface* service_;
+  Channel channel_;
+
+  // Protocol state.
+  ViewNum view_ = 0;
+  SeqNum next_seq_ = 1;        // primary: next sequence number to assign
+  SeqNum last_executed_ = 0;
+  SeqNum stable_seq_ = 0;      // low watermark h
+  Digest stable_digest_;
+  // Proof-backed stable checkpoint for VIEW-CHANGE messages. May lag
+  // stable_seq_ briefly after a recovery (which adopts a checkpoint without
+  // collecting 2f+1 signed CHECKPOINT envelopes).
+  SeqNum proofed_stable_seq_ = 0;
+  Digest proofed_stable_digest_;
+  std::vector<Bytes> stable_proof_;  // 2f+1 signed CHECKPOINT envelopes
+  MessageLog log_;
+
+  // Pending client requests (primary batches them; backups use them to
+  // detect a faulty primary). Keyed by request digest for dedup.
+  struct PendingRequest {
+    RequestMsg request;
+    // The client's original authenticated envelope: embedded in pre-prepare
+    // batches so backups can verify the client's authenticator themselves.
+    Bytes client_wire;
+    SimTime received_at = 0;
+  };
+  std::map<Digest, PendingRequest> pending_requests_;
+
+  // Per-client dedup + retransmission cache.
+  std::map<NodeId, CachedReply> reply_cache_;
+  std::map<NodeId, uint64_t> last_executed_timestamp_;
+
+  // Checkpoint votes: seq -> replica -> (digest, signed wire).
+  struct CheckpointVote {
+    Digest digest;
+    Bytes wire;
+  };
+  std::map<SeqNum, std::map<NodeId, CheckpointVote>> checkpoint_votes_;
+
+  // View-change state.
+  bool in_view_change_ = false;
+  TimerId view_change_timer_ = 0;
+  SimTime view_change_timeout_ = 0;  // current (doubles on cascade)
+  // target view -> sender -> validated message + wire.
+  struct ViewChangeVote {
+    ViewChangeMsg msg;
+    Bytes wire;
+  };
+  std::map<ViewNum, std::map<NodeId, ViewChangeVote>> view_change_votes_;
+  std::set<ViewNum> new_view_sent_;
+
+  // State-transfer / recovery state.
+  bool fetching_state_ = false;
+  bool recovering_ = false;
+  SimTime recovery_started_at_ = 0;
+  SimTime last_recovery_duration_ = 0;
+  uint64_t recoveries_completed_ = 0;
+  SimTime recovery_period_ = 0;
+
+  // Messages that arrived too early (e.g. a PREPARE for a view we are still
+  // installing — small messages overtake large NEW-VIEWs on the wire).
+  // Replayed after the next view installation. Bounded to avoid a Byzantine
+  // memory-exhaustion vector.
+  static constexpr size_t kMaxStashedWires = 4096;
+  std::deque<Bytes> stashed_wires_;
+  void StashWire(const Bytes& wire);
+  void ReplayStashedWires();
+
+  // Fault hooks.
+  bool mute_ = false;
+  bool corrupt_replies_ = false;
+  bool equivocate_ = false;
+
+  // Telemetry.
+  uint64_t requests_executed_ = 0;
+  uint64_t batches_executed_ = 0;
+  uint64_t view_changes_started_ = 0;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BFT_REPLICA_H_

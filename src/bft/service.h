@@ -1,0 +1,89 @@
+// The interface a replicated service presents to the BFT replica.
+//
+// The plain BFT library (this layer) only needs deterministic execution,
+// checkpoint digests and a way to move state between replicas; the BASE
+// layer (src/base) implements this interface once, on top of the abstraction
+// upcalls from the paper's Figure 1, for any wrapped service.
+#ifndef SRC_BFT_SERVICE_H_
+#define SRC_BFT_SERVICE_H_
+
+#include <functional>
+
+#include "src/bft/config.h"
+#include "src/crypto/digest.h"
+#include "src/util/bytes.h"
+
+namespace bftbase {
+
+class ServiceInterface {
+ public:
+  virtual ~ServiceInterface() = default;
+
+  // Executes one operation. `nondet` is the agreed non-deterministic input
+  // for the batch containing the operation (empty for services that need
+  // none). When `tentative` is true the call comes from the read-only
+  // optimization and must not modify state.
+  virtual Bytes Execute(BytesView op, NodeId client, BytesView nondet,
+                        bool tentative) = 0;
+
+  // Called at the primary to propose the non-deterministic input for the
+  // next batch (e.g. the current clock reading for NFS timestamps).
+  virtual Bytes ProposeNondet() = 0;
+
+  // Called at backups to validate a proposed value before accepting the
+  // pre-prepare (e.g.: timestamp is monotonic and close to the local clock).
+  virtual bool CheckNondet(BytesView nondet) = 0;
+
+  // Takes a checkpoint after executing sequence number `seq` and returns the
+  // digest of the service state (for BASE: the state-partition tree root
+  // over the abstract state).
+  virtual Digest TakeCheckpoint(SeqNum seq) = 0;
+
+  // The checkpoint at `seq` became stable; older checkpoints can go.
+  virtual void DiscardCheckpointsBefore(SeqNum seq) = 0;
+
+  // --- State transfer (implemented by the BASE layer) ----------------------
+
+  // Handles a state-transfer message routed by the replica.
+  virtual void HandleStateMessage(NodeId from, BytesView payload) = 0;
+
+  // Brings this replica's state to the checkpoint (`seq`, `digest`) by
+  // fetching out-of-date abstract objects from the other replicas. Completion
+  // is signalled through the handler installed with SetStateTransferDone.
+  virtual void StartStateTransfer(SeqNum seq, const Digest& digest) = 0;
+
+  virtual bool InStateTransfer() const = 0;
+
+  // Installed by the replica: called with (seq, digest) when a state
+  // transfer started via StartStateTransfer has completed.
+  using StateTransferDoneFn = std::function<void(SeqNum, const Digest&)>;
+  virtual void SetStateTransferDone(StateTransferDoneFn fn) = 0;
+
+  // Installed by the replica: the transport used to send state-transfer
+  // messages to a peer replica.
+  using StateSenderFn = std::function<void(NodeId to, const Bytes& payload)>;
+  virtual void SetStateSender(StateSenderFn fn) = 0;
+
+  // --- Proactive recovery ----------------------------------------------------
+
+  // Saves the conformance rep, abstract-state copy and protocol state to
+  // (simulated) stable storage ahead of a reboot. Returns the number of
+  // bytes written so the replica can charge the cost model.
+  virtual size_t SaveForRecovery() = 0;
+
+  // Called after the simulated reboot: restart the concrete service from a
+  // clean initial state; the saved abstract state (plus fetches of
+  // out-of-date objects via StartStateTransfer) rebuilds it.
+  virtual void RestartFromRecovery() = 0;
+
+  // --- Protocol-state piggyback --------------------------------------------
+  // The replica's reply cache must survive checkpoints/recovery so a
+  // state-transferred replica does not re-execute old requests. The BASE
+  // layer stores this blob as an extra leaf of the partition tree.
+  virtual void SetProtocolState(const Bytes& blob) = 0;
+  virtual Bytes GetProtocolState() const = 0;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BFT_SERVICE_H_

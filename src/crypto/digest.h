@@ -1,0 +1,110 @@
+// Digest: a 32-byte SHA-256 value with value semantics.
+//
+// Used as the identity of requests, checkpoints and state-partition nodes.
+// Comparable, hashable, and cheap to copy.
+#ifndef SRC_CRYPTO_DIGEST_H_
+#define SRC_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace bftbase {
+
+class Digest {
+ public:
+  static constexpr size_t kSize = Sha256::kDigestSize;
+
+  Digest() { bytes_.fill(0); }
+  explicit Digest(const std::array<uint8_t, kSize>& bytes) : bytes_(bytes) {}
+
+  // Hashes arbitrary data.
+  static Digest Of(BytesView data) { return Digest(Sha256::Hash(data)); }
+
+  // Parses a digest that arrived on the wire. Returns the zero digest when
+  // the buffer has the wrong size (callers treat zero as "absent").
+  static Digest FromBytes(BytesView data) {
+    Digest d;
+    if (data.size() == kSize) {
+      std::memcpy(d.bytes_.data(), data.data(), kSize);
+    }
+    return d;
+  }
+
+  // Combines digests/ints into a new digest; used for Merkle-tree interior
+  // nodes and for binding protocol fields together.
+  class Builder {
+   public:
+    Builder& Add(BytesView data) {
+      hasher_.Update(data);
+      return *this;
+    }
+    Builder& Add(const Digest& d) {
+      hasher_.Update(BytesView(d.bytes_.data(), kSize));
+      return *this;
+    }
+    Builder& Add(uint64_t v) {
+      uint8_t b[8];
+      for (int i = 0; i < 8; ++i) {
+        b[i] = static_cast<uint8_t>(v >> (8 * i));
+      }
+      hasher_.Update(BytesView(b, 8));
+      return *this;
+    }
+    Digest Build() {
+      Digest d;
+      hasher_.Final(d.bytes_.data());
+      return d;
+    }
+
+   private:
+    Sha256 hasher_;
+  };
+
+  bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  BytesView view() const { return BytesView(bytes_.data(), kSize); }
+  Bytes ToBytes() const { return Bytes(bytes_.begin(), bytes_.end()); }
+  const std::array<uint8_t, kSize>& array() const { return bytes_; }
+
+  // Short hex prefix for logs.
+  std::string Hex(size_t prefix_bytes = 6) const {
+    return HexEncode(BytesView(bytes_.data(), std::min(prefix_bytes, kSize)));
+  }
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.bytes_ == b.bytes_;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Digest& a, const Digest& b) {
+    return a.bytes_ < b.bytes_;
+  }
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+struct DigestHash {
+  size_t operator()(const Digest& d) const {
+    size_t h;
+    std::memcpy(&h, d.array().data(), sizeof(h));
+    return h;
+  }
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_CRYPTO_DIGEST_H_

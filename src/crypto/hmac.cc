@@ -1,0 +1,132 @@
+#include "src/crypto/hmac.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bftbase {
+
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(BytesView key,
+                                                    BytesView message) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize];
+  std::memset(key_block, 0, kBlockSize);
+  if (key.size() > kBlockSize) {
+    auto hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(BytesView(ipad, kBlockSize));
+  inner.Update(message);
+  uint8_t inner_digest[Sha256::kDigestSize];
+  inner.Final(inner_digest);
+
+  Sha256 outer;
+  outer.Update(BytesView(opad, kBlockSize));
+  outer.Update(BytesView(inner_digest, Sha256::kDigestSize));
+  std::array<uint8_t, Sha256::kDigestSize> out;
+  outer.Final(out.data());
+  return out;
+}
+
+Mac ComputeMac(BytesView key, BytesView message) {
+  auto full = HmacSha256(key, message);
+  Mac mac;
+  std::memcpy(mac.data(), full.data(), kMacSize);
+  return mac;
+}
+
+KeyTable::KeyTable(uint64_t master_secret, int node_count)
+    : master_secret_(master_secret), epochs_(node_count, 0) {}
+
+Bytes KeyTable::SessionKey(int a, int b) const {
+  int lo = std::min(a, b);
+  int hi = std::max(a, b);
+  // The pair's key is bound to the max of the two endpoints' epochs so that a
+  // single refresh by either endpoint rotates the key.
+  uint64_t epoch = std::max(epochs_[lo], epochs_[hi]);
+  uint8_t material[24];
+  uint64_t fields[3] = {static_cast<uint64_t>(lo), static_cast<uint64_t>(hi),
+                        epoch};
+  std::memcpy(material, fields, sizeof(fields));
+  uint8_t master[8];
+  std::memcpy(master, &master_secret_, sizeof(master));
+  auto derived = HmacSha256(BytesView(master, sizeof(master)),
+                            BytesView(material, sizeof(material)));
+  return Bytes(derived.begin(), derived.end());
+}
+
+Bytes KeyTable::SigningKey(int node) const {
+  uint8_t material[9];
+  uint64_t id = static_cast<uint64_t>(node);
+  std::memcpy(material, &id, sizeof(id));
+  material[8] = 0x5a;  // domain separation from session keys
+  uint8_t master[8];
+  std::memcpy(master, &master_secret_, sizeof(master));
+  auto derived = HmacSha256(BytesView(master, sizeof(master)),
+                            BytesView(material, sizeof(material)));
+  return Bytes(derived.begin(), derived.end());
+}
+
+void KeyTable::RefreshKeysFor(int node) { ++epochs_[node]; }
+
+Authenticator Authenticator::Compute(const KeyTable& keys, int sender, int n,
+                                     BytesView message) {
+  Authenticator auth;
+  auth.macs_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Bytes key = keys.SessionKey(sender, i);
+    auth.macs_.push_back(ComputeMac(key, message));
+  }
+  return auth;
+}
+
+bool Authenticator::Verify(const KeyTable& keys, int sender, int receiver,
+                           BytesView message) const {
+  if (receiver < 0 || static_cast<size_t>(receiver) >= macs_.size()) {
+    return false;
+  }
+  Bytes key = keys.SessionKey(sender, receiver);
+  Mac expected = ComputeMac(key, message);
+  return ConstantTimeEqual(BytesView(expected.data(), kMacSize),
+                           BytesView(macs_[receiver].data(), kMacSize));
+}
+
+Bytes Authenticator::Encode() const {
+  Bytes out;
+  out.reserve(macs_.size() * kMacSize);
+  for (const Mac& mac : macs_) {
+    out.insert(out.end(), mac.begin(), mac.end());
+  }
+  return out;
+}
+
+Authenticator Authenticator::Decode(BytesView data) {
+  Authenticator auth;
+  if (data.size() % kMacSize != 0) {
+    return auth;  // empty; verification will fail
+  }
+  size_t count = data.size() / kMacSize;
+  auth.macs_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(auth.macs_[i].data(), data.data() + i * kMacSize, kMacSize);
+  }
+  return auth;
+}
+
+void Authenticator::CorruptEntry(int receiver) {
+  if (receiver >= 0 && static_cast<size_t>(receiver) < macs_.size()) {
+    macs_[receiver][0] ^= 0xff;
+  }
+}
+
+}  // namespace bftbase

@@ -1,0 +1,90 @@
+// HMAC-SHA256 (RFC 2104) and the PBFT authenticator scheme.
+//
+// PBFT replaces digital signatures with vectors of MACs: a message multicast
+// to n replicas carries one MAC per receiver, each computed with the pairwise
+// session key shared by sender and receiver. KeyTable derives those session
+// keys deterministically from node ids (standing in for the Diffie-Hellman
+// key exchange the real system performs) and supports the epoch-based key
+// refresh that bounds the window of vulnerability.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/digest.h"
+#include "src/util/bytes.h"
+
+namespace bftbase {
+
+// Full 32-byte HMAC-SHA256.
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(BytesView key,
+                                                    BytesView message);
+
+// PBFT truncates MACs to 10 bytes (the probability of forging one is ~2^-80,
+// sufficient because a forged MAC only yields a liveness hiccup, not a safety
+// violation).
+constexpr size_t kMacSize = 10;
+using Mac = std::array<uint8_t, kMacSize>;
+
+Mac ComputeMac(BytesView key, BytesView message);
+
+// Pairwise session keys between all protocol participants.
+//
+// Keys are derived as HMAC(master, min_id || max_id || epoch) so that both
+// endpoints independently compute the same key. Incrementing the epoch models
+// the periodic key refresh of the proactive-recovery protocol.
+class KeyTable {
+ public:
+  KeyTable(uint64_t master_secret, int node_count);
+
+  // Session key between a and b at the current epoch of `a`'s view.
+  Bytes SessionKey(int a, int b) const;
+
+  // Epoch-independent per-node signing key (the stand-in for a node's
+  // private signature key; see channel.h). Not rotated by RefreshKeysFor so
+  // that proofs containing old signed messages stay verifiable.
+  Bytes SigningKey(int node) const;
+
+  // Refreshes all keys involving `node` (called when the node recovers).
+  void RefreshKeysFor(int node);
+
+  uint64_t EpochOf(int node) const { return epochs_[node]; }
+  int node_count() const { return static_cast<int>(epochs_.size()); }
+
+ private:
+  uint64_t master_secret_;
+  std::vector<uint64_t> epochs_;
+};
+
+// An authenticator: one MAC per receiving replica. The sender computes all of
+// them; receiver i checks entry i only.
+class Authenticator {
+ public:
+  Authenticator() = default;
+
+  // Computes MACs of `message` from `sender` to every replica in [0, n).
+  static Authenticator Compute(const KeyTable& keys, int sender, int n,
+                               BytesView message);
+
+  // Verifies the MAC addressed to `receiver`.
+  bool Verify(const KeyTable& keys, int sender, int receiver,
+              BytesView message) const;
+
+  // Wire encoding: concatenated fixed-size MACs.
+  Bytes Encode() const;
+  static Authenticator Decode(BytesView data);
+
+  size_t size() const { return macs_.size(); }
+  bool empty() const { return macs_.empty(); }
+
+  // Test hook: corrupts the MAC addressed to `receiver` (Byzantine senders).
+  void CorruptEntry(int receiver);
+
+ private:
+  std::vector<Mac> macs_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_CRYPTO_HMAC_H_

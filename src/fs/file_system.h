@@ -1,0 +1,109 @@
+// The black-box file-system contract: what an off-the-shelf NFS daemon
+// offers. The conformance wrapper (src/basefs) treats implementations of
+// this interface exactly as the paper treats Linux/OpenBSD/Solaris NFS
+// daemons: opaque servers with implementation-specific file handles,
+// directory orders, timestamps and storage layouts.
+//
+// Deliberate sources of divergence between implementations (they are what
+// the abstraction must hide):
+//   - file-handle values and sizes, and their volatility across restarts
+//   - readdir ordering
+//   - timestamp granularity and clock skew
+//   - statfs accounting (block sizes, overheads)
+//   - internal storage layout (and its aging behaviour)
+#ifndef SRC_FS_FILE_SYSTEM_H_
+#define SRC_FS_FILE_SYSTEM_H_
+
+#include <functional>
+
+#include "src/fs/types.h"
+
+namespace bftbase {
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  struct AttrResult {
+    NfsStat stat = NfsStat::kIo;
+    Fattr attr;
+  };
+  struct HandleResult {
+    NfsStat stat = NfsStat::kIo;
+    Bytes fh;
+    Fattr attr;
+  };
+  struct ReadResult {
+    NfsStat stat = NfsStat::kIo;
+    Bytes data;
+    Fattr attr;
+  };
+  struct ReadlinkResult {
+    NfsStat stat = NfsStat::kIo;
+    std::string target;
+  };
+  struct ReaddirResult {
+    NfsStat stat = NfsStat::kIo;
+    std::vector<DirEntry> entries;  // implementation-specific order
+  };
+  struct StatfsResult {
+    NfsStat stat = NfsStat::kIo;
+    uint32_t block_size = 0;
+    uint64_t total_blocks = 0;
+    uint64_t free_blocks = 0;
+  };
+
+  // Handle of the exported root directory.
+  virtual Bytes Root() = 0;
+
+  virtual AttrResult GetAttr(const Bytes& fh) = 0;
+  virtual AttrResult SetAttr(const Bytes& fh, const SetAttrs& attrs) = 0;
+  virtual HandleResult Lookup(const Bytes& dir_fh, const std::string& name) = 0;
+  virtual ReadResult Read(const Bytes& fh, uint64_t offset, uint32_t count) = 0;
+  virtual AttrResult Write(const Bytes& fh, uint64_t offset,
+                           BytesView data) = 0;
+  virtual HandleResult Create(const Bytes& dir_fh, const std::string& name,
+                              const SetAttrs& attrs) = 0;
+  virtual NfsStat Remove(const Bytes& dir_fh, const std::string& name) = 0;
+  virtual NfsStat Rename(const Bytes& from_dir, const std::string& from_name,
+                         const Bytes& to_dir, const std::string& to_name) = 0;
+  virtual HandleResult Mkdir(const Bytes& dir_fh, const std::string& name,
+                             const SetAttrs& attrs) = 0;
+  virtual NfsStat Rmdir(const Bytes& dir_fh, const std::string& name) = 0;
+  virtual HandleResult Symlink(const Bytes& dir_fh, const std::string& name,
+                               const std::string& target,
+                               const SetAttrs& attrs) = 0;
+  virtual ReadlinkResult Readlink(const Bytes& fh) = 0;
+  virtual ReaddirResult Readdir(const Bytes& dir_fh) = 0;
+  virtual StatfsResult Statfs() = 0;
+
+  // --- Lifecycle & fault hooks ------------------------------------------------
+
+  // Simulates a daemon restart: volatile state (file-handle generations,
+  // caches) is lost; persistent state survives. After this, previously
+  // issued file handles may return NFSERR_STALE (paper §3.4).
+  virtual void Restart() = 0;
+
+  // Wipes everything back to an empty file system ("second empty disk").
+  virtual void Reset() = 0;
+
+  // Corrupts the stored data of the object with the given fileid (models a
+  // latent software bug scribbling on state). Returns false if not found.
+  virtual bool CorruptObject(uint64_t fileid) = 0;
+
+  // Approximate resident memory of the implementation, for the aging /
+  // rejuvenation experiments. Grows over time for leaky implementations.
+  virtual size_t MemoryFootprint() const = 0;
+
+  // Human-readable vendor tag ("linearfs 1.0", ...).
+  virtual const char* Vendor() const = 0;
+};
+
+// Implementation clock: returns local wall-clock microseconds. Each replica
+// gives its daemons a slightly skewed clock, mirroring real deployments
+// where server clocks differ (a non-determinism the wrapper hides).
+using FsClock = std::function<int64_t()>;
+
+}  // namespace bftbase
+
+#endif  // SRC_FS_FILE_SYSTEM_H_

@@ -1,0 +1,551 @@
+#include "src/fs/linear_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bftbase {
+
+namespace {
+
+constexpr uint32_t kFhMagic = 0xA1FA0001;
+// NFSv2 servers write synchronously to stable storage; VendorA has a plain
+// disk with a small write cache.
+constexpr bftbase::SimTime kStableWriteUs = 500;
+constexpr uint64_t kMaxFileSize = 64ull << 20;
+
+bool ValidName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return false;
+  }
+  if (name == "." || name == "..") {
+    return false;
+  }
+  return name.find('/') == std::string::npos;
+}
+
+}  // namespace
+
+LinearFs::LinearFs(Simulation* sim, FsClock clock)
+    : sim_(sim), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [this] { return sim_ ? sim_->Now() : 0; };
+  }
+  Reset();
+}
+
+void LinearFs::Charge(SimTime cost) const {
+  if (sim_ != nullptr) {
+    sim_->ChargeCpu(cost);
+  }
+}
+
+int64_t LinearFs::NowCoarse() const {
+  // VendorA keeps one-second timestamp granularity (like old UFS).
+  return (clock_() / kSecond) * kSecond;
+}
+
+void LinearFs::Reset() {
+  inodes_.clear();
+  free_list_.clear();
+  ++boot_epoch_;
+  next_fileid_ = 1;
+  // Inode 0 is the root directory.
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.mode = 0755;
+  root.fileid = next_fileid_++;
+  root.parent = 0;
+  root.ctime_us = root.mtime_us = root.atime_us = NowCoarse();
+  root.gen = 1;
+  inodes_.push_back(std::move(root));
+}
+
+void LinearFs::Restart() {
+  // Volatile handle state is lost: previously issued handles go stale.
+  ++boot_epoch_;
+}
+
+Bytes LinearFs::MakeHandle(uint32_t index) const {
+  const Inode& inode = inodes_[index];
+  Bytes fh(16);
+  uint32_t fields[4] = {kFhMagic, index, inode.gen, boot_epoch_};
+  std::memcpy(fh.data(), fields, sizeof(fields));
+  return fh;
+}
+
+LinearFs::ResolveResult LinearFs::Resolve(const Bytes& fh) const {
+  if (fh.size() != 16) {
+    return {NfsStat::kStale, 0};
+  }
+  uint32_t fields[4];
+  std::memcpy(fields, fh.data(), sizeof(fields));
+  if (fields[0] != kFhMagic || fields[3] != boot_epoch_) {
+    return {NfsStat::kStale, 0};
+  }
+  uint32_t index = fields[1];
+  if (index >= inodes_.size() || inodes_[index].type == FileType::kNone ||
+      inodes_[index].gen != fields[2]) {
+    return {NfsStat::kStale, 0};
+  }
+  return {NfsStat::kOk, index};
+}
+
+Fattr LinearFs::AttrOf(uint32_t index) const {
+  const Inode& inode = inodes_[index];
+  Fattr attr;
+  attr.type = inode.type;
+  attr.mode = inode.mode;
+  attr.nlink = inode.type == FileType::kDirectory
+                   ? 2 + static_cast<uint32_t>(inode.subdirs)
+                   : 1;
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
+  switch (inode.type) {
+    case FileType::kRegular:
+      attr.size = inode.data.size();
+      break;
+    case FileType::kDirectory:
+      // VendorA reports directory size as slot-array bytes.
+      attr.size = 32 + 16 * inode.entries.size();
+      break;
+    case FileType::kSymlink:
+      attr.size = inode.target.size();
+      break;
+    case FileType::kNone:
+      break;
+  }
+  attr.blocksize = 4096;
+  attr.blocks = (attr.size + 4095) / 4096;
+  attr.fsid = 0xA11A;
+  attr.fileid = inode.fileid;
+  attr.atime_us = inode.atime_us;
+  attr.mtime_us = inode.mtime_us;
+  attr.ctime_us = inode.ctime_us;
+  return attr;
+}
+
+uint32_t LinearFs::AllocInode() {
+  if (!free_list_.empty()) {
+    uint32_t index = free_list_.back();
+    free_list_.pop_back();
+    inodes_[index].gen += 1;
+    return index;
+  }
+  inodes_.emplace_back();
+  inodes_.back().gen = 1;
+  return static_cast<uint32_t>(inodes_.size() - 1);
+}
+
+void LinearFs::FreeInode(uint32_t index) {
+  Inode& inode = inodes_[index];
+  uint32_t gen = inode.gen;
+  inode = Inode();
+  inode.gen = gen;
+  inode.type = FileType::kNone;
+  free_list_.push_back(index);
+}
+
+LinearFs::Inode* LinearFs::FindChild(uint32_t dir_index,
+                                     const std::string& name,
+                                     uint32_t* out_index) {
+  Inode& dir = inodes_[dir_index];
+  for (auto& [entry_name, child] : dir.entries) {
+    if (entry_name == name) {
+      if (out_index != nullptr) {
+        *out_index = child;
+      }
+      return &inodes_[child];
+    }
+  }
+  return nullptr;
+}
+
+Bytes LinearFs::Root() { return MakeHandle(0); }
+
+FileSystem::AttrResult LinearFs::GetAttr(const Bytes& fh) {
+  Charge(25);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  return {NfsStat::kOk, AttrOf(r.index)};
+}
+
+FileSystem::AttrResult LinearFs::SetAttr(const Bytes& fh,
+                                         const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 40);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  Inode& inode = inodes_[r.index];
+  if (attrs.mode != SetAttrs::kKeep32) {
+    inode.mode = attrs.mode & 07777;
+  }
+  if (attrs.uid != SetAttrs::kKeep32) {
+    inode.uid = attrs.uid;
+  }
+  if (attrs.gid != SetAttrs::kKeep32) {
+    inode.gid = attrs.gid;
+  }
+  if (attrs.size != SetAttrs::kKeep64) {
+    if (inode.type != FileType::kRegular) {
+      return {NfsStat::kIsDir, {}};
+    }
+    if (attrs.size > kMaxFileSize) {
+      return {NfsStat::kFBig, {}};
+    }
+    inode.data.resize(attrs.size, 0);
+    inode.mtime_us = NowCoarse();
+  }
+  inode.ctime_us = NowCoarse();
+  return {NfsStat::kOk, AttrOf(r.index)};
+}
+
+FileSystem::HandleResult LinearFs::Lookup(const Bytes& dir_fh,
+                                          const std::string& name) {
+  Charge(35);
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  if (inodes_[r.index].type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}, {}};
+  }
+  uint32_t child_index = 0;
+  if (FindChild(r.index, name, &child_index) == nullptr) {
+    return {NfsStat::kNoEnt, {}, {}};
+  }
+  return {NfsStat::kOk, MakeHandle(child_index), AttrOf(child_index)};
+}
+
+FileSystem::ReadResult LinearFs::Read(const Bytes& fh, uint64_t offset,
+                                      uint32_t count) {
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  Inode& inode = inodes_[r.index];
+  if (inode.type == FileType::kDirectory) {
+    return {NfsStat::kIsDir, {}, {}};
+  }
+  if (inode.type != FileType::kRegular) {
+    return {NfsStat::kInval, {}, {}};
+  }
+  Bytes out;
+  if (offset < inode.data.size()) {
+    size_t take = std::min<uint64_t>(count, inode.data.size() - offset);
+    out.assign(inode.data.begin() + offset,
+               inode.data.begin() + offset + take);
+  }
+  Charge(30 + static_cast<SimTime>(out.size() / 256));
+  inode.atime_us = NowCoarse();
+  return {NfsStat::kOk, std::move(out), AttrOf(r.index)};
+}
+
+FileSystem::AttrResult LinearFs::Write(const Bytes& fh, uint64_t offset,
+                                       BytesView data) {
+  Charge(kStableWriteUs + 55 + static_cast<SimTime>(data.size() / 128));
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  Inode& inode = inodes_[r.index];
+  if (inode.type == FileType::kDirectory) {
+    return {NfsStat::kIsDir, {}};
+  }
+  if (inode.type != FileType::kRegular) {
+    return {NfsStat::kInval, {}};
+  }
+  if (offset + data.size() > kMaxFileSize) {
+    return {NfsStat::kFBig, {}};
+  }
+  if (offset + data.size() > inode.data.size()) {
+    inode.data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(), inode.data.begin() + offset);
+  inode.mtime_us = inode.ctime_us = NowCoarse();
+  return {NfsStat::kOk, AttrOf(r.index)};
+}
+
+FileSystem::HandleResult LinearFs::CreateObject(const Bytes& dir_fh,
+                                                const std::string& name,
+                                                const SetAttrs& attrs,
+                                                FileType type,
+                                                const std::string& target) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  if (inodes_[r.index].type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}, {}};
+  }
+  if (!ValidName(name)) {
+    return {name.size() > kMaxNameLen ? NfsStat::kNameTooLong
+                                      : NfsStat::kInval,
+            {},
+            {}};
+  }
+  if (FindChild(r.index, name, nullptr) != nullptr) {
+    return {NfsStat::kExist, {}, {}};
+  }
+  uint32_t child = AllocInode();
+  Inode& inode = inodes_[child];
+  inode.type = type;
+  inode.mode = attrs.mode != SetAttrs::kKeep32 ? (attrs.mode & 07777)
+               : type == FileType::kDirectory  ? 0755u
+                                               : 0644u;
+  inode.uid = attrs.uid != SetAttrs::kKeep32 ? attrs.uid : 0;
+  inode.gid = attrs.gid != SetAttrs::kKeep32 ? attrs.gid : 0;
+  inode.fileid = next_fileid_++;
+  inode.parent = r.index;
+  inode.target = target;
+  inode.atime_us = inode.mtime_us = inode.ctime_us = NowCoarse();
+  if (type == FileType::kRegular && attrs.size != SetAttrs::kKeep64 &&
+      attrs.size <= kMaxFileSize) {
+    inode.data.resize(attrs.size, 0);
+  }
+
+  Inode& dir = inodes_[r.index];
+  dir.entries.emplace_back(name, child);  // insertion order preserved
+  if (type == FileType::kDirectory) {
+    ++dir.subdirs;
+  }
+  dir.mtime_us = dir.ctime_us = NowCoarse();
+  return {NfsStat::kOk, MakeHandle(child), AttrOf(child)};
+}
+
+FileSystem::HandleResult LinearFs::Create(const Bytes& dir_fh,
+                                          const std::string& name,
+                                          const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 70);
+  return CreateObject(dir_fh, name, attrs, FileType::kRegular, "");
+}
+
+FileSystem::HandleResult LinearFs::Mkdir(const Bytes& dir_fh,
+                                         const std::string& name,
+                                         const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 80);
+  return CreateObject(dir_fh, name, attrs, FileType::kDirectory, "");
+}
+
+FileSystem::HandleResult LinearFs::Symlink(const Bytes& dir_fh,
+                                           const std::string& name,
+                                           const std::string& target,
+                                           const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 75);
+  return CreateObject(dir_fh, name, attrs, FileType::kSymlink, target);
+}
+
+NfsStat LinearFs::RemoveEntry(const Bytes& dir_fh, const std::string& name,
+                              bool dir_expected) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return r.stat;
+  }
+  if (inodes_[r.index].type != FileType::kDirectory) {
+    return NfsStat::kNotDir;
+  }
+  uint32_t child_index = 0;
+  Inode* child = FindChild(r.index, name, &child_index);
+  if (child == nullptr) {
+    return NfsStat::kNoEnt;
+  }
+  if (dir_expected) {
+    if (child->type != FileType::kDirectory) {
+      return NfsStat::kNotDir;
+    }
+    if (!child->entries.empty()) {
+      return NfsStat::kNotEmpty;
+    }
+  } else {
+    if (child->type == FileType::kDirectory) {
+      return NfsStat::kIsDir;
+    }
+  }
+  Inode& dir = inodes_[r.index];
+  dir.entries.erase(
+      std::find_if(dir.entries.begin(), dir.entries.end(),
+                   [&](const auto& e) { return e.first == name; }));
+  if (child->type == FileType::kDirectory) {
+    --dir.subdirs;
+  }
+  dir.mtime_us = dir.ctime_us = NowCoarse();
+  FreeInode(child_index);
+  return NfsStat::kOk;
+}
+
+NfsStat LinearFs::Remove(const Bytes& dir_fh, const std::string& name) {
+  Charge(kStableWriteUs + 60);
+  return RemoveEntry(dir_fh, name, /*dir_expected=*/false);
+}
+
+NfsStat LinearFs::Rmdir(const Bytes& dir_fh, const std::string& name) {
+  Charge(kStableWriteUs + 65);
+  return RemoveEntry(dir_fh, name, /*dir_expected=*/true);
+}
+
+bool LinearFs::IsAncestor(uint32_t maybe_ancestor, uint32_t node) const {
+  uint32_t cur = node;
+  while (cur != 0) {
+    if (cur == maybe_ancestor) {
+      return true;
+    }
+    cur = inodes_[cur].parent;
+  }
+  return maybe_ancestor == 0;
+}
+
+NfsStat LinearFs::Rename(const Bytes& from_dir, const std::string& from_name,
+                         const Bytes& to_dir, const std::string& to_name) {
+  Charge(kStableWriteUs + 90);
+  auto from = Resolve(from_dir);
+  auto to = Resolve(to_dir);
+  if (from.stat != NfsStat::kOk) {
+    return from.stat;
+  }
+  if (to.stat != NfsStat::kOk) {
+    return to.stat;
+  }
+  if (inodes_[from.index].type != FileType::kDirectory ||
+      inodes_[to.index].type != FileType::kDirectory) {
+    return NfsStat::kNotDir;
+  }
+  if (!ValidName(to_name)) {
+    return to_name.size() > kMaxNameLen ? NfsStat::kNameTooLong
+                                        : NfsStat::kInval;
+  }
+  uint32_t moving = 0;
+  Inode* child = FindChild(from.index, from_name, &moving);
+  if (child == nullptr) {
+    return NfsStat::kNoEnt;
+  }
+  // A directory cannot be moved into its own subtree.
+  if (child->type == FileType::kDirectory && moving != to.index &&
+      IsAncestor(moving, to.index)) {
+    return NfsStat::kInval;
+  }
+  // Overwrite semantics: an existing target is replaced if compatible.
+  uint32_t existing = 0;
+  Inode* target = FindChild(to.index, to_name, &existing);
+  if (target != nullptr) {
+    if (existing == moving) {
+      return NfsStat::kOk;  // no-op rename onto itself
+    }
+    if (target->type == FileType::kDirectory) {
+      if (child->type != FileType::kDirectory) {
+        return NfsStat::kIsDir;
+      }
+      if (!target->entries.empty()) {
+        return NfsStat::kNotEmpty;
+      }
+      NfsStat removed = RemoveEntry(to_dir, to_name, /*dir_expected=*/true);
+      if (removed != NfsStat::kOk) {
+        return removed;
+      }
+    } else {
+      if (child->type == FileType::kDirectory) {
+        return NfsStat::kNotDir;
+      }
+      NfsStat removed = RemoveEntry(to_dir, to_name, /*dir_expected=*/false);
+      if (removed != NfsStat::kOk) {
+        return removed;
+      }
+    }
+  }
+
+  Inode& src = inodes_[from.index];
+  src.entries.erase(
+      std::find_if(src.entries.begin(), src.entries.end(),
+                   [&](const auto& e) { return e.first == from_name; }));
+  if (inodes_[moving].type == FileType::kDirectory) {
+    --src.subdirs;
+    ++inodes_[to.index].subdirs;
+  }
+  inodes_[to.index].entries.emplace_back(to_name, moving);
+  inodes_[moving].parent = to.index;
+  int64_t now = NowCoarse();
+  src.mtime_us = src.ctime_us = now;
+  inodes_[to.index].mtime_us = inodes_[to.index].ctime_us = now;
+  inodes_[moving].ctime_us = now;
+  return NfsStat::kOk;
+}
+
+FileSystem::ReadlinkResult LinearFs::Readlink(const Bytes& fh) {
+  Charge(30);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  const Inode& inode = inodes_[r.index];
+  if (inode.type != FileType::kSymlink) {
+    return {NfsStat::kInval, {}};
+  }
+  return {NfsStat::kOk, inode.target};
+}
+
+FileSystem::ReaddirResult LinearFs::Readdir(const Bytes& dir_fh) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  const Inode& dir = inodes_[r.index];
+  if (dir.type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}};
+  }
+  Charge(40 + static_cast<SimTime>(2 * dir.entries.size()));
+  ReaddirResult out;
+  out.stat = NfsStat::kOk;
+  // VendorA returns entries in raw slot (insertion) order.
+  for (const auto& [name, child] : dir.entries) {
+    out.entries.push_back(DirEntry{name, MakeHandle(child)});
+  }
+  return out;
+}
+
+FileSystem::StatfsResult LinearFs::Statfs() {
+  Charge(20);
+  StatfsResult out;
+  out.stat = NfsStat::kOk;
+  out.block_size = 4096;
+  out.total_blocks = 1 << 20;
+  uint64_t used = 0;
+  for (const Inode& inode : inodes_) {
+    used += (inode.data.size() + 4095) / 4096 + 1;
+  }
+  out.free_blocks = out.total_blocks > used ? out.total_blocks - used : 0;
+  return out;
+}
+
+bool LinearFs::CorruptObject(uint64_t fileid) {
+  for (Inode& inode : inodes_) {
+    if (inode.type != FileType::kNone && inode.fileid == fileid) {
+      if (inode.type == FileType::kRegular) {
+        if (inode.data.empty()) {
+          inode.data.push_back(0xBD);
+        } else {
+          for (uint8_t& b : inode.data) {
+            b ^= 0xBD;
+          }
+        }
+      } else if (inode.type == FileType::kSymlink) {
+        inode.target += "!corrupt";
+      } else {
+        inode.mode ^= 0777;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t LinearFs::MemoryFootprint() const {
+  size_t total = sizeof(*this) + inodes_.capacity() * sizeof(Inode);
+  for (const Inode& inode : inodes_) {
+    total += inode.data.capacity() + inode.target.capacity() +
+             inode.entries.capacity() * 24;
+  }
+  return total;
+}
+
+}  // namespace bftbase

@@ -1,0 +1,103 @@
+// LinearFs ("VendorA"): a classic inode-table file system.
+//
+// Representation choices (deliberately different from the other vendors):
+//   - flat inode vector with a free list; lowest-numbered inode reuse
+//   - 16-byte file handles embedding (index, generation, boot epoch);
+//     handles go STALE after a daemon restart (paper §3.4)
+//   - directories keep entries in INSERTION order (readdir is unsorted)
+//   - one-second timestamp granularity (old-UFS style)
+//   - 4 KiB block accounting
+#ifndef SRC_FS_LINEAR_FS_H_
+#define SRC_FS_LINEAR_FS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class LinearFs : public FileSystem {
+ public:
+  // `sim` may be null (unit tests); it is used for CPU cost accounting and
+  // as the default clock source.
+  explicit LinearFs(Simulation* sim, FsClock clock = nullptr);
+
+  Bytes Root() override;
+  AttrResult GetAttr(const Bytes& fh) override;
+  AttrResult SetAttr(const Bytes& fh, const SetAttrs& attrs) override;
+  HandleResult Lookup(const Bytes& dir_fh, const std::string& name) override;
+  ReadResult Read(const Bytes& fh, uint64_t offset, uint32_t count) override;
+  AttrResult Write(const Bytes& fh, uint64_t offset, BytesView data) override;
+  HandleResult Create(const Bytes& dir_fh, const std::string& name,
+                      const SetAttrs& attrs) override;
+  NfsStat Remove(const Bytes& dir_fh, const std::string& name) override;
+  NfsStat Rename(const Bytes& from_dir, const std::string& from_name,
+                 const Bytes& to_dir, const std::string& to_name) override;
+  HandleResult Mkdir(const Bytes& dir_fh, const std::string& name,
+                     const SetAttrs& attrs) override;
+  NfsStat Rmdir(const Bytes& dir_fh, const std::string& name) override;
+  HandleResult Symlink(const Bytes& dir_fh, const std::string& name,
+                       const std::string& target,
+                       const SetAttrs& attrs) override;
+  ReadlinkResult Readlink(const Bytes& fh) override;
+  ReaddirResult Readdir(const Bytes& dir_fh) override;
+  StatfsResult Statfs() override;
+
+  void Restart() override;
+  void Reset() override;
+  bool CorruptObject(uint64_t fileid) override;
+  size_t MemoryFootprint() const override;
+  const char* Vendor() const override { return "linearfs/1.0 (VendorA)"; }
+
+ private:
+  struct Inode {
+    FileType type = FileType::kNone;
+    uint32_t mode = 0;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    uint32_t gen = 0;
+    uint64_t fileid = 0;
+    uint32_t parent = 0;
+    size_t subdirs = 0;
+    int64_t atime_us = 0;
+    int64_t mtime_us = 0;
+    int64_t ctime_us = 0;
+    Bytes data;                                          // regular files
+    std::string target;                                  // symlinks
+    std::vector<std::pair<std::string, uint32_t>> entries;  // directories
+  };
+  struct ResolveResult {
+    NfsStat stat;
+    uint32_t index;
+  };
+
+  void Charge(SimTime cost) const;
+  int64_t NowCoarse() const;
+  Bytes MakeHandle(uint32_t index) const;
+  ResolveResult Resolve(const Bytes& fh) const;
+  Fattr AttrOf(uint32_t index) const;
+  uint32_t AllocInode();
+  void FreeInode(uint32_t index);
+  Inode* FindChild(uint32_t dir_index, const std::string& name,
+                   uint32_t* out_index);
+  HandleResult CreateObject(const Bytes& dir_fh, const std::string& name,
+                            const SetAttrs& attrs, FileType type,
+                            const std::string& target);
+  NfsStat RemoveEntry(const Bytes& dir_fh, const std::string& name,
+                      bool dir_expected);
+  bool IsAncestor(uint32_t maybe_ancestor, uint32_t node) const;
+
+  Simulation* sim_;
+  FsClock clock_;
+  std::vector<Inode> inodes_;
+  std::vector<uint32_t> free_list_;
+  uint32_t boot_epoch_ = 0;
+  uint64_t next_fileid_ = 1;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_FS_LINEAR_FS_H_

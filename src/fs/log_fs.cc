@@ -1,0 +1,550 @@
+#include "src/fs/log_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bftbase {
+
+namespace {
+
+constexpr uint64_t kMaxFileSize = 64ull << 20;
+
+bool ValidName(const std::string& name) {
+  return !name.empty() && name.size() <= kMaxNameLen && name != "." &&
+         name != ".." && name.find('/') == std::string::npos;
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+LogFs::LogFs(Simulation* sim, FsClock clock)
+    : sim_(sim), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [this] { return sim_ ? sim_->Now() : 0; };
+  }
+  Reset();
+}
+
+void LogFs::Charge(SimTime cost) const {
+  if (sim_ != nullptr) {
+    sim_->ChargeCpu(cost);
+  }
+}
+
+int64_t LogFs::NowDecims() const { return (clock_() / 100) * 100; }
+
+void LogFs::Reset() {
+  inodes_.clear();
+  next_ino_ = 1;
+  next_lsn_ = 1;
+  log_bytes_ = 0;
+  live_bytes_ = 0;
+  leaked_bytes_ = 0;  // a clean restart is the only cure for the leak
+  compactions_ = 0;
+  boot_nonce_ = boot_nonce_ * 6364136223846793005ULL + 0x1dULL;
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.mode = 0755;
+  root.fileid = 1;
+  root.parent = 1;
+  root.birth_lsn = next_lsn_++;
+  root.atime_us = root.mtime_us = root.ctime_us = NowDecims();
+  inodes_[next_ino_++] = std::move(root);
+}
+
+void LogFs::Restart() {
+  // Handles are derived from the boot nonce; a restart invalidates them but
+  // keeps the (persistent) log and index. The leak survives restarts too —
+  // only a clean Reset clears it, which is the point of the experiment.
+  boot_nonce_ = boot_nonce_ * 6364136223846793005ULL + 0x2fULL;
+}
+
+void LogFs::AppendRecord(size_t payload_bytes) {
+  log_bytes_ += payload_bytes + 48;
+  leaked_bytes_ += 72;  // the deliberate aging leak (metadata never freed)
+  ++next_lsn_;
+  // Appends are cheap relative to in-place updates, but the commit still
+  // reaches stable storage (group-committed log tail).
+  Charge(150 + static_cast<SimTime>(payload_bytes / 512));
+  MaybeCompact();
+}
+
+void LogFs::MaybeCompact() {
+  if (log_bytes_ < (1u << 20) || log_bytes_ < 4 * (live_bytes_ + 1)) {
+    return;
+  }
+  // Compaction rewrites live data; the burst cost is proportional to it.
+  Charge(200 + static_cast<SimTime>(live_bytes_ / 256));
+  log_bytes_ = live_bytes_;
+  ++compactions_;
+}
+
+Bytes LogFs::MakeHandle(Ino ino) const {
+  const Inode& inode = inodes_.at(ino);
+  Bytes fh(16);
+  uint64_t fields[2] = {ino ^ boot_nonce_, inode.birth_lsn ^ boot_nonce_};
+  std::memcpy(fh.data(), fields, sizeof(fields));
+  return fh;
+}
+
+LogFs::ResolveResult LogFs::Resolve(const Bytes& fh) const {
+  if (fh.size() != 16) {
+    return {NfsStat::kStale, 0};
+  }
+  uint64_t fields[2];
+  std::memcpy(fields, fh.data(), sizeof(fields));
+  Ino ino = fields[0] ^ boot_nonce_;
+  uint64_t birth = fields[1] ^ boot_nonce_;
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end() || it->second.type == FileType::kNone ||
+      it->second.birth_lsn != birth) {
+    return {NfsStat::kStale, 0};
+  }
+  return {NfsStat::kOk, ino};
+}
+
+Fattr LogFs::AttrOf(Ino ino) const {
+  const Inode& inode = inodes_.at(ino);
+  Fattr attr;
+  attr.type = inode.type;
+  attr.mode = inode.mode;
+  attr.nlink = inode.type == FileType::kDirectory
+                   ? 2 + static_cast<uint32_t>(inode.subdirs)
+                   : 1;
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
+  switch (inode.type) {
+    case FileType::kRegular:
+      attr.size = inode.data.size();
+      break;
+    case FileType::kDirectory:
+      // VendorC reports the log footprint of the directory object.
+      attr.size = 48 + 24 * inode.entries.size();
+      break;
+    case FileType::kSymlink:
+      attr.size = inode.target.size();
+      break;
+    case FileType::kNone:
+      break;
+  }
+  attr.blocksize = 8192;
+  attr.blocks = (attr.size + 8191) / 8192;
+  attr.fsid = 0xC109;
+  attr.fileid = inode.fileid;
+  attr.atime_us = inode.atime_us;
+  attr.mtime_us = inode.mtime_us;
+  attr.ctime_us = inode.ctime_us;
+  return attr;
+}
+
+LogFs::Inode* LogFs::FindChild(Inode& dir, const std::string& name,
+                               Ino* out_ino) {
+  for (auto& [entry_name, child] : dir.entries) {
+    if (entry_name == name) {
+      if (out_ino != nullptr) {
+        *out_ino = child;
+      }
+      return &inodes_[child];
+    }
+  }
+  return nullptr;
+}
+
+Bytes LogFs::Root() { return MakeHandle(1); }
+
+FileSystem::AttrResult LogFs::GetAttr(const Bytes& fh) {
+  Charge(20);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  return {NfsStat::kOk, AttrOf(r.ino)};
+}
+
+FileSystem::AttrResult LogFs::SetAttr(const Bytes& fh, const SetAttrs& attrs) {
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  Inode& inode = inodes_[r.ino];
+  if (attrs.mode != SetAttrs::kKeep32) {
+    inode.mode = attrs.mode & 07777;
+  }
+  if (attrs.uid != SetAttrs::kKeep32) {
+    inode.uid = attrs.uid;
+  }
+  if (attrs.gid != SetAttrs::kKeep32) {
+    inode.gid = attrs.gid;
+  }
+  if (attrs.size != SetAttrs::kKeep64) {
+    if (inode.type != FileType::kRegular) {
+      return {NfsStat::kIsDir, {}};
+    }
+    if (attrs.size > kMaxFileSize) {
+      return {NfsStat::kFBig, {}};
+    }
+    if (attrs.size > inode.data.size()) {
+      live_bytes_ += attrs.size - inode.data.size();
+    }
+    inode.data.resize(attrs.size, 0);
+    inode.mtime_us = NowDecims();
+  }
+  inode.ctime_us = NowDecims();
+  AppendRecord(32);
+  return {NfsStat::kOk, AttrOf(r.ino)};
+}
+
+FileSystem::HandleResult LogFs::Lookup(const Bytes& dir_fh,
+                                       const std::string& name) {
+  Charge(45);  // VendorC's linear directory scan is slower
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  Inode& dir = inodes_[r.ino];
+  if (dir.type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}, {}};
+  }
+  Ino child = 0;
+  if (FindChild(dir, name, &child) == nullptr) {
+    return {NfsStat::kNoEnt, {}, {}};
+  }
+  return {NfsStat::kOk, MakeHandle(child), AttrOf(child)};
+}
+
+FileSystem::ReadResult LogFs::Read(const Bytes& fh, uint64_t offset,
+                                   uint32_t count) {
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  Inode& inode = inodes_[r.ino];
+  if (inode.type == FileType::kDirectory) {
+    return {NfsStat::kIsDir, {}, {}};
+  }
+  if (inode.type != FileType::kRegular) {
+    return {NfsStat::kInval, {}, {}};
+  }
+  Bytes out;
+  if (offset < inode.data.size()) {
+    size_t take = std::min<uint64_t>(count, inode.data.size() - offset);
+    out.assign(inode.data.begin() + offset,
+               inode.data.begin() + offset + take);
+  }
+  // Reads must reassemble from the log: slower than the other vendors.
+  Charge(40 + static_cast<SimTime>(out.size() / 200));
+  inode.atime_us = NowDecims();
+  return {NfsStat::kOk, std::move(out), AttrOf(r.ino)};
+}
+
+FileSystem::AttrResult LogFs::Write(const Bytes& fh, uint64_t offset,
+                                    BytesView data) {
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  Inode& inode = inodes_[r.ino];
+  if (inode.type == FileType::kDirectory) {
+    return {NfsStat::kIsDir, {}};
+  }
+  if (inode.type != FileType::kRegular) {
+    return {NfsStat::kInval, {}};
+  }
+  if (offset + data.size() > kMaxFileSize) {
+    return {NfsStat::kFBig, {}};
+  }
+  if (offset + data.size() > inode.data.size()) {
+    live_bytes_ += offset + data.size() - inode.data.size();
+    inode.data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(), inode.data.begin() + offset);
+  inode.mtime_us = inode.ctime_us = NowDecims();
+  AppendRecord(data.size());  // appends are cheap; cost charged there
+  return {NfsStat::kOk, AttrOf(r.ino)};
+}
+
+FileSystem::HandleResult LogFs::CreateObject(const Bytes& dir_fh,
+                                             const std::string& name,
+                                             const SetAttrs& attrs,
+                                             FileType type,
+                                             const std::string& target) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  if (inodes_[r.ino].type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}, {}};
+  }
+  if (!ValidName(name)) {
+    return {name.size() > kMaxNameLen ? NfsStat::kNameTooLong
+                                      : NfsStat::kInval,
+            {},
+            {}};
+  }
+  if (FindChild(inodes_[r.ino], name, nullptr) != nullptr) {
+    return {NfsStat::kExist, {}, {}};
+  }
+  Ino ino = next_ino_++;
+  Inode inode;
+  inode.type = type;
+  inode.mode = attrs.mode != SetAttrs::kKeep32 ? (attrs.mode & 07777)
+               : type == FileType::kDirectory  ? 0755u
+                                               : 0644u;
+  inode.uid = attrs.uid != SetAttrs::kKeep32 ? attrs.uid : 0;
+  inode.gid = attrs.gid != SetAttrs::kKeep32 ? attrs.gid : 0;
+  inode.fileid = 0xC0000000ULL + ino;  // VendorC: offset fileid space
+  inode.parent = r.ino;
+  inode.birth_lsn = next_lsn_;
+  inode.target = target;
+  inode.atime_us = inode.mtime_us = inode.ctime_us = NowDecims();
+  if (type == FileType::kRegular && attrs.size != SetAttrs::kKeep64 &&
+      attrs.size <= kMaxFileSize) {
+    inode.data.resize(attrs.size, 0);
+    live_bytes_ += attrs.size;
+  }
+  inodes_[ino] = std::move(inode);
+
+  Inode& dir = inodes_[r.ino];
+  dir.entries.emplace_back(name, ino);
+  // VendorC keeps directory vectors ordered by name hash.
+  std::sort(dir.entries.begin(), dir.entries.end(),
+            [](const auto& a, const auto& b) {
+              return Fnv1a(a.first) < Fnv1a(b.first);
+            });
+  if (type == FileType::kDirectory) {
+    ++dir.subdirs;
+  }
+  dir.mtime_us = dir.ctime_us = NowDecims();
+  AppendRecord(64 + name.size() + target.size());
+  return {NfsStat::kOk, MakeHandle(ino), AttrOf(ino)};
+}
+
+FileSystem::HandleResult LogFs::Create(const Bytes& dir_fh,
+                                       const std::string& name,
+                                       const SetAttrs& attrs) {
+  return CreateObject(dir_fh, name, attrs, FileType::kRegular, "");
+}
+
+FileSystem::HandleResult LogFs::Mkdir(const Bytes& dir_fh,
+                                      const std::string& name,
+                                      const SetAttrs& attrs) {
+  return CreateObject(dir_fh, name, attrs, FileType::kDirectory, "");
+}
+
+FileSystem::HandleResult LogFs::Symlink(const Bytes& dir_fh,
+                                        const std::string& name,
+                                        const std::string& target,
+                                        const SetAttrs& attrs) {
+  return CreateObject(dir_fh, name, attrs, FileType::kSymlink, target);
+}
+
+NfsStat LogFs::RemoveEntry(const Bytes& dir_fh, const std::string& name,
+                           bool dir_expected) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return r.stat;
+  }
+  Inode& dir = inodes_[r.ino];
+  if (dir.type != FileType::kDirectory) {
+    return NfsStat::kNotDir;
+  }
+  Ino child_ino = 0;
+  Inode* child = FindChild(dir, name, &child_ino);
+  if (child == nullptr) {
+    return NfsStat::kNoEnt;
+  }
+  if (dir_expected) {
+    if (child->type != FileType::kDirectory) {
+      return NfsStat::kNotDir;
+    }
+    if (!child->entries.empty()) {
+      return NfsStat::kNotEmpty;
+    }
+    --dir.subdirs;
+  } else if (child->type == FileType::kDirectory) {
+    return NfsStat::kIsDir;
+  }
+  if (live_bytes_ >= child->data.size()) {
+    live_bytes_ -= child->data.size();
+  }
+  dir.entries.erase(
+      std::find_if(dir.entries.begin(), dir.entries.end(),
+                   [&](const auto& e) { return e.first == name; }));
+  dir.mtime_us = dir.ctime_us = NowDecims();
+  inodes_.erase(child_ino);
+  AppendRecord(32 + name.size());
+  return NfsStat::kOk;
+}
+
+NfsStat LogFs::Remove(const Bytes& dir_fh, const std::string& name) {
+  return RemoveEntry(dir_fh, name, /*dir_expected=*/false);
+}
+
+NfsStat LogFs::Rmdir(const Bytes& dir_fh, const std::string& name) {
+  return RemoveEntry(dir_fh, name, /*dir_expected=*/true);
+}
+
+bool LogFs::IsAncestor(Ino maybe_ancestor, Ino node) const {
+  Ino cur = node;
+  while (cur != 1) {
+    if (cur == maybe_ancestor) {
+      return true;
+    }
+    auto it = inodes_.find(cur);
+    if (it == inodes_.end()) {
+      return false;
+    }
+    cur = it->second.parent;
+  }
+  return maybe_ancestor == 1;
+}
+
+NfsStat LogFs::Rename(const Bytes& from_dir, const std::string& from_name,
+                      const Bytes& to_dir, const std::string& to_name) {
+  auto from = Resolve(from_dir);
+  auto to = Resolve(to_dir);
+  if (from.stat != NfsStat::kOk) {
+    return from.stat;
+  }
+  if (to.stat != NfsStat::kOk) {
+    return to.stat;
+  }
+  if (inodes_[from.ino].type != FileType::kDirectory ||
+      inodes_[to.ino].type != FileType::kDirectory) {
+    return NfsStat::kNotDir;
+  }
+  if (!ValidName(to_name)) {
+    return to_name.size() > kMaxNameLen ? NfsStat::kNameTooLong
+                                        : NfsStat::kInval;
+  }
+  Ino moving = 0;
+  Inode* child = FindChild(inodes_[from.ino], from_name, &moving);
+  if (child == nullptr) {
+    return NfsStat::kNoEnt;
+  }
+  if (child->type == FileType::kDirectory && moving != to.ino &&
+      IsAncestor(moving, to.ino)) {
+    return NfsStat::kInval;
+  }
+  Ino existing = 0;
+  Inode* target = FindChild(inodes_[to.ino], to_name, &existing);
+  if (target != nullptr) {
+    if (existing == moving) {
+      return NfsStat::kOk;
+    }
+    bool target_is_dir = target->type == FileType::kDirectory;
+    bool moving_is_dir = child->type == FileType::kDirectory;
+    if (target_is_dir != moving_is_dir) {
+      return target_is_dir ? NfsStat::kIsDir : NfsStat::kNotDir;
+    }
+    NfsStat removed = RemoveEntry(to_dir, to_name, target_is_dir);
+    if (removed != NfsStat::kOk) {
+      return removed;
+    }
+  }
+  Inode& src = inodes_[from.ino];
+  src.entries.erase(
+      std::find_if(src.entries.begin(), src.entries.end(),
+                   [&](const auto& e) { return e.first == from_name; }));
+  if (inodes_[moving].type == FileType::kDirectory) {
+    --src.subdirs;
+    ++inodes_[to.ino].subdirs;
+  }
+  Inode& dst = inodes_[to.ino];
+  dst.entries.emplace_back(to_name, moving);
+  std::sort(dst.entries.begin(), dst.entries.end(),
+            [](const auto& a, const auto& b) {
+              return Fnv1a(a.first) < Fnv1a(b.first);
+            });
+  inodes_[moving].parent = to.ino;
+  int64_t now = NowDecims();
+  src.mtime_us = src.ctime_us = now;
+  dst.mtime_us = dst.ctime_us = now;
+  inodes_[moving].ctime_us = now;
+  AppendRecord(48 + from_name.size() + to_name.size());
+  return NfsStat::kOk;
+}
+
+FileSystem::ReadlinkResult LogFs::Readlink(const Bytes& fh) {
+  Charge(32);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  const Inode& inode = inodes_.at(r.ino);
+  if (inode.type != FileType::kSymlink) {
+    return {NfsStat::kInval, {}};
+  }
+  return {NfsStat::kOk, inode.target};
+}
+
+FileSystem::ReaddirResult LogFs::Readdir(const Bytes& dir_fh) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  const Inode& dir = inodes_.at(r.ino);
+  if (dir.type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}};
+  }
+  Charge(50 + static_cast<SimTime>(4 * dir.entries.size()));
+  ReaddirResult out;
+  out.stat = NfsStat::kOk;
+  for (const auto& [name, child] : dir.entries) {  // hash order
+    out.entries.push_back(DirEntry{name, MakeHandle(child)});
+  }
+  return out;
+}
+
+FileSystem::StatfsResult LogFs::Statfs() {
+  Charge(25);
+  StatfsResult out;
+  out.stat = NfsStat::kOk;
+  out.block_size = 8192;
+  out.total_blocks = 1u << 18;
+  uint64_t used = (log_bytes_ + leaked_bytes_) / 8192 + inodes_.size();
+  out.free_blocks = out.total_blocks > used ? out.total_blocks - used : 0;
+  return out;
+}
+
+bool LogFs::CorruptObject(uint64_t fileid) {
+  for (auto& [ino, inode] : inodes_) {
+    if (inode.fileid == fileid && inode.type != FileType::kNone) {
+      if (inode.type == FileType::kRegular) {
+        if (inode.data.empty()) {
+          inode.data.push_back(0x99);
+        } else {
+          for (uint8_t& b : inode.data) {
+            b ^= 0x99;
+          }
+        }
+      } else if (inode.type == FileType::kSymlink) {
+        inode.target += "!corrupt";
+      } else {
+        inode.mode ^= 0777;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t LogFs::MemoryFootprint() const {
+  size_t total = sizeof(*this) + log_bytes_ + leaked_bytes_ +
+                 inodes_.size() * (sizeof(Inode) + 56);
+  for (const auto& [ino, inode] : inodes_) {
+    total += inode.data.capacity() + inode.target.capacity() +
+             inode.entries.capacity() * 32;
+  }
+  return total;
+}
+
+}  // namespace bftbase

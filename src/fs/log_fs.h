@@ -1,0 +1,114 @@
+// LogFs ("VendorC"): a log-structured file system with realistic aging.
+//
+// Representation choices (deliberately different from the other vendors):
+//   - every mutation appends a record to an in-memory log; an index maps
+//     inode numbers to live state; the log is compacted when garbage
+//     dominates (write cost is cheap, compaction bursts are charged)
+//   - a small, deliberate metadata LEAK per mutation: the daemon's memory
+//     footprint grows with age. This models the software-aging failures the
+//     paper's proactive recovery is designed to flush (Huang et al. [9]);
+//     only Reset() — i.e. BASE's clean restart — reclaims it
+//   - 16-byte handles carrying (ino, birth lsn) XOR a per-boot nonce;
+//     restarts invalidate all handles
+//   - readdir returns entries ordered by FNV-1a hash of the name
+//   - 100-microsecond timestamp granularity, 8 KiB block accounting
+#ifndef SRC_FS_LOG_FS_H_
+#define SRC_FS_LOG_FS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class LogFs : public FileSystem {
+ public:
+  explicit LogFs(Simulation* sim, FsClock clock = nullptr);
+
+  Bytes Root() override;
+  AttrResult GetAttr(const Bytes& fh) override;
+  AttrResult SetAttr(const Bytes& fh, const SetAttrs& attrs) override;
+  HandleResult Lookup(const Bytes& dir_fh, const std::string& name) override;
+  ReadResult Read(const Bytes& fh, uint64_t offset, uint32_t count) override;
+  AttrResult Write(const Bytes& fh, uint64_t offset, BytesView data) override;
+  HandleResult Create(const Bytes& dir_fh, const std::string& name,
+                      const SetAttrs& attrs) override;
+  NfsStat Remove(const Bytes& dir_fh, const std::string& name) override;
+  NfsStat Rename(const Bytes& from_dir, const std::string& from_name,
+                 const Bytes& to_dir, const std::string& to_name) override;
+  HandleResult Mkdir(const Bytes& dir_fh, const std::string& name,
+                     const SetAttrs& attrs) override;
+  NfsStat Rmdir(const Bytes& dir_fh, const std::string& name) override;
+  HandleResult Symlink(const Bytes& dir_fh, const std::string& name,
+                       const std::string& target,
+                       const SetAttrs& attrs) override;
+  ReadlinkResult Readlink(const Bytes& fh) override;
+  ReaddirResult Readdir(const Bytes& dir_fh) override;
+  StatfsResult Statfs() override;
+
+  void Restart() override;
+  void Reset() override;
+  bool CorruptObject(uint64_t fileid) override;
+  size_t MemoryFootprint() const override;
+  const char* Vendor() const override { return "logfs/0.9 (VendorC)"; }
+
+  // Aging telemetry for the rejuvenation experiments.
+  size_t leaked_bytes() const { return leaked_bytes_; }
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  using Ino = uint64_t;
+  struct Inode {
+    FileType type = FileType::kNone;
+    uint32_t mode = 0;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    uint64_t fileid = 0;
+    Ino parent = 0;
+    uint64_t birth_lsn = 0;
+    size_t subdirs = 0;
+    int64_t atime_us = 0;
+    int64_t mtime_us = 0;
+    int64_t ctime_us = 0;
+    Bytes data;
+    std::string target;
+    std::vector<std::pair<std::string, Ino>> entries;  // readdir: hash order
+  };
+  struct ResolveResult {
+    NfsStat stat;
+    Ino ino;
+  };
+
+  void Charge(SimTime cost) const;
+  int64_t NowDecims() const;  // 100 us granularity
+  void AppendRecord(size_t payload_bytes);
+  void MaybeCompact();
+  Bytes MakeHandle(Ino ino) const;
+  ResolveResult Resolve(const Bytes& fh) const;
+  Fattr AttrOf(Ino ino) const;
+  Inode* FindChild(Inode& dir, const std::string& name, Ino* out_ino);
+  HandleResult CreateObject(const Bytes& dir_fh, const std::string& name,
+                            const SetAttrs& attrs, FileType type,
+                            const std::string& target);
+  NfsStat RemoveEntry(const Bytes& dir_fh, const std::string& name,
+                      bool dir_expected);
+  bool IsAncestor(Ino maybe_ancestor, Ino node) const;
+
+  Simulation* sim_;
+  FsClock clock_;
+  std::unordered_map<Ino, Inode> inodes_;
+  Ino next_ino_ = 1;
+  uint64_t next_lsn_ = 1;
+  uint64_t boot_nonce_ = 0xc0ffee;
+  size_t log_bytes_ = 0;       // total appended since last compaction
+  size_t live_bytes_ = 0;      // approximate live data
+  size_t leaked_bytes_ = 0;    // grows forever until Reset (aging)
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_FS_LOG_FS_H_

@@ -1,0 +1,487 @@
+#include "src/fs/tree_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bftbase {
+
+namespace {
+
+constexpr uint64_t kScramble = 0x9e3779b97f4a7c15ULL;
+// VendorB journals metadata but still commits synchronously.
+constexpr bftbase::SimTime kStableWriteUs = 420;
+constexpr uint64_t kMaxFileSize = 64ull << 20;
+
+bool ValidName(const std::string& name) {
+  return !name.empty() && name.size() <= kMaxNameLen && name != "." &&
+         name != ".." && name.find('/') == std::string::npos;
+}
+
+}  // namespace
+
+TreeFs::TreeFs(Simulation* sim, FsClock clock)
+    : sim_(sim), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [this] { return sim_ ? sim_->Now() : 0; };
+  }
+  Reset();
+}
+
+void TreeFs::Charge(SimTime cost) const {
+  if (sim_ != nullptr) {
+    sim_->ChargeCpu(cost);
+  }
+}
+
+int64_t TreeFs::NowFine() const { return clock_(); }
+
+void TreeFs::Reset() {
+  inodes_.clear();
+  next_ino_ = 1;
+  boot_salt_ = boot_salt_ * kScramble + 0xb0075aL;
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.mode = 0755;
+  root.fileid = 1;
+  root.parent = 1;
+  root.atime_us = root.mtime_us = root.ctime_us = NowFine();
+  inodes_[next_ino_++] = std::move(root);  // root is ino 1
+}
+
+void TreeFs::Restart() {
+  boot_salt_ = boot_salt_ * kScramble + 0xdeadULL;
+}
+
+Bytes TreeFs::MakeHandle(Ino ino) const {
+  Bytes fh(16);
+  uint64_t fields[2] = {ino * kScramble ^ boot_salt_, boot_salt_};
+  std::memcpy(fh.data(), fields, sizeof(fields));
+  return fh;
+}
+
+TreeFs::ResolveResult TreeFs::Resolve(const Bytes& fh) const {
+  if (fh.size() != 16) {
+    return {NfsStat::kStale, 0};
+  }
+  uint64_t fields[2];
+  std::memcpy(fields, fh.data(), sizeof(fields));
+  if (fields[1] != boot_salt_) {
+    return {NfsStat::kStale, 0};
+  }
+  // Unscramble via the modular inverse of kScramble (odd => invertible).
+  constexpr uint64_t kInverse = 0xf1de83e19937733dULL;
+  static_assert(kScramble * kInverse == 1, "inverse mismatch");
+  Ino ino = (fields[0] ^ boot_salt_) * kInverse;
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end() || it->second.type == FileType::kNone) {
+    return {NfsStat::kStale, 0};
+  }
+  return {NfsStat::kOk, ino};
+}
+
+Fattr TreeFs::AttrOf(Ino ino) const {
+  const Inode& inode = inodes_.at(ino);
+  Fattr attr;
+  attr.type = inode.type;
+  attr.mode = inode.mode;
+  attr.nlink = inode.type == FileType::kDirectory
+                   ? 2 + static_cast<uint32_t>(inode.subdirs)
+                   : 1;
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
+  switch (inode.type) {
+    case FileType::kRegular:
+      attr.size = inode.data.size();
+      break;
+    case FileType::kDirectory:
+      // VendorB reports directory size as a fixed-node B-tree estimate.
+      attr.size = 512 * (1 + inode.entries.size() / 16);
+      break;
+    case FileType::kSymlink:
+      attr.size = inode.target.size();
+      break;
+    case FileType::kNone:
+      break;
+  }
+  attr.blocksize = 1024;
+  attr.blocks = (attr.size + 1023) / 1024;
+  attr.fsid = 0xB7EE;
+  attr.fileid = inode.fileid;
+  attr.atime_us = inode.atime_us;
+  attr.mtime_us = inode.mtime_us;
+  attr.ctime_us = inode.ctime_us;
+  return attr;
+}
+
+Bytes TreeFs::Root() { return MakeHandle(1); }
+
+FileSystem::AttrResult TreeFs::GetAttr(const Bytes& fh) {
+  Charge(18);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  return {NfsStat::kOk, AttrOf(r.ino)};
+}
+
+FileSystem::AttrResult TreeFs::SetAttr(const Bytes& fh,
+                                       const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 45);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  Inode& inode = inodes_[r.ino];
+  if (attrs.mode != SetAttrs::kKeep32) {
+    inode.mode = attrs.mode & 07777;
+  }
+  if (attrs.uid != SetAttrs::kKeep32) {
+    inode.uid = attrs.uid;
+  }
+  if (attrs.gid != SetAttrs::kKeep32) {
+    inode.gid = attrs.gid;
+  }
+  if (attrs.size != SetAttrs::kKeep64) {
+    if (inode.type != FileType::kRegular) {
+      return {NfsStat::kIsDir, {}};
+    }
+    if (attrs.size > kMaxFileSize) {
+      return {NfsStat::kFBig, {}};
+    }
+    inode.data.resize(attrs.size, 0);
+    inode.mtime_us = NowFine();
+  }
+  inode.ctime_us = NowFine();
+  return {NfsStat::kOk, AttrOf(r.ino)};
+}
+
+FileSystem::HandleResult TreeFs::Lookup(const Bytes& dir_fh,
+                                        const std::string& name) {
+  Charge(22);  // VendorB's sorted maps make lookups fast
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  Inode& dir = inodes_[r.ino];
+  if (dir.type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}, {}};
+  }
+  auto it = dir.entries.find(name);
+  if (it == dir.entries.end()) {
+    return {NfsStat::kNoEnt, {}, {}};
+  }
+  return {NfsStat::kOk, MakeHandle(it->second), AttrOf(it->second)};
+}
+
+FileSystem::ReadResult TreeFs::Read(const Bytes& fh, uint64_t offset,
+                                    uint32_t count) {
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  Inode& inode = inodes_[r.ino];
+  if (inode.type == FileType::kDirectory) {
+    return {NfsStat::kIsDir, {}, {}};
+  }
+  if (inode.type != FileType::kRegular) {
+    return {NfsStat::kInval, {}, {}};
+  }
+  Bytes out;
+  if (offset < inode.data.size()) {
+    size_t take = std::min<uint64_t>(count, inode.data.size() - offset);
+    out.assign(inode.data.begin() + offset,
+               inode.data.begin() + offset + take);
+  }
+  Charge(25 + static_cast<SimTime>(out.size() / 320));
+  inode.atime_us = NowFine();
+  return {NfsStat::kOk, std::move(out), AttrOf(r.ino)};
+}
+
+FileSystem::AttrResult TreeFs::Write(const Bytes& fh, uint64_t offset,
+                                     BytesView data) {
+  Charge(kStableWriteUs + 70 + static_cast<SimTime>(data.size() / 110));
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  Inode& inode = inodes_[r.ino];
+  if (inode.type == FileType::kDirectory) {
+    return {NfsStat::kIsDir, {}};
+  }
+  if (inode.type != FileType::kRegular) {
+    return {NfsStat::kInval, {}};
+  }
+  if (offset + data.size() > kMaxFileSize) {
+    return {NfsStat::kFBig, {}};
+  }
+  if (offset + data.size() > inode.data.size()) {
+    inode.data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(), inode.data.begin() + offset);
+  inode.mtime_us = inode.ctime_us = NowFine();
+  return {NfsStat::kOk, AttrOf(r.ino)};
+}
+
+FileSystem::HandleResult TreeFs::CreateObject(const Bytes& dir_fh,
+                                              const std::string& name,
+                                              const SetAttrs& attrs,
+                                              FileType type,
+                                              const std::string& target) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}, {}};
+  }
+  Inode& dir = inodes_[r.ino];
+  if (dir.type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}, {}};
+  }
+  if (!ValidName(name)) {
+    return {name.size() > kMaxNameLen ? NfsStat::kNameTooLong
+                                      : NfsStat::kInval,
+            {},
+            {}};
+  }
+  if (dir.entries.count(name) > 0) {
+    return {NfsStat::kExist, {}, {}};
+  }
+  Ino ino = next_ino_++;
+  Inode inode;
+  inode.type = type;
+  inode.mode = attrs.mode != SetAttrs::kKeep32 ? (attrs.mode & 07777)
+               : type == FileType::kDirectory  ? 0755u
+                                               : 0644u;
+  inode.uid = attrs.uid != SetAttrs::kKeep32 ? attrs.uid : 0;
+  inode.gid = attrs.gid != SetAttrs::kKeep32 ? attrs.gid : 0;
+  inode.fileid = ino;  // VendorB: fileid == inode number
+  inode.parent = r.ino;
+  inode.target = target;
+  inode.atime_us = inode.mtime_us = inode.ctime_us = NowFine();
+  if (type == FileType::kRegular && attrs.size != SetAttrs::kKeep64 &&
+      attrs.size <= kMaxFileSize) {
+    inode.data.resize(attrs.size, 0);
+  }
+  dir.entries[name] = ino;
+  if (type == FileType::kDirectory) {
+    ++dir.subdirs;
+  }
+  dir.mtime_us = dir.ctime_us = NowFine();
+  inodes_[ino] = std::move(inode);
+  return {NfsStat::kOk, MakeHandle(ino), AttrOf(ino)};
+}
+
+FileSystem::HandleResult TreeFs::Create(const Bytes& dir_fh,
+                                        const std::string& name,
+                                        const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 85);
+  return CreateObject(dir_fh, name, attrs, FileType::kRegular, "");
+}
+
+FileSystem::HandleResult TreeFs::Mkdir(const Bytes& dir_fh,
+                                       const std::string& name,
+                                       const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 95);
+  return CreateObject(dir_fh, name, attrs, FileType::kDirectory, "");
+}
+
+FileSystem::HandleResult TreeFs::Symlink(const Bytes& dir_fh,
+                                         const std::string& name,
+                                         const std::string& target,
+                                         const SetAttrs& attrs) {
+  Charge(kStableWriteUs + 88);
+  return CreateObject(dir_fh, name, attrs, FileType::kSymlink, target);
+}
+
+NfsStat TreeFs::RemoveEntry(const Bytes& dir_fh, const std::string& name,
+                            bool dir_expected) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return r.stat;
+  }
+  Inode& dir = inodes_[r.ino];
+  if (dir.type != FileType::kDirectory) {
+    return NfsStat::kNotDir;
+  }
+  auto it = dir.entries.find(name);
+  if (it == dir.entries.end()) {
+    return NfsStat::kNoEnt;
+  }
+  Inode& child = inodes_[it->second];
+  if (dir_expected) {
+    if (child.type != FileType::kDirectory) {
+      return NfsStat::kNotDir;
+    }
+    if (!child.entries.empty()) {
+      return NfsStat::kNotEmpty;
+    }
+    --dir.subdirs;
+  } else if (child.type == FileType::kDirectory) {
+    return NfsStat::kIsDir;
+  }
+  inodes_.erase(it->second);
+  dir.entries.erase(it);
+  dir.mtime_us = dir.ctime_us = NowFine();
+  return NfsStat::kOk;
+}
+
+NfsStat TreeFs::Remove(const Bytes& dir_fh, const std::string& name) {
+  Charge(kStableWriteUs + 66);
+  return RemoveEntry(dir_fh, name, /*dir_expected=*/false);
+}
+
+NfsStat TreeFs::Rmdir(const Bytes& dir_fh, const std::string& name) {
+  Charge(kStableWriteUs + 72);
+  return RemoveEntry(dir_fh, name, /*dir_expected=*/true);
+}
+
+bool TreeFs::IsAncestor(Ino maybe_ancestor, Ino node) const {
+  Ino cur = node;
+  while (cur != 1) {
+    if (cur == maybe_ancestor) {
+      return true;
+    }
+    auto it = inodes_.find(cur);
+    if (it == inodes_.end()) {
+      return false;
+    }
+    cur = it->second.parent;
+  }
+  return maybe_ancestor == 1;
+}
+
+NfsStat TreeFs::Rename(const Bytes& from_dir, const std::string& from_name,
+                       const Bytes& to_dir, const std::string& to_name) {
+  Charge(kStableWriteUs + 105);
+  auto from = Resolve(from_dir);
+  auto to = Resolve(to_dir);
+  if (from.stat != NfsStat::kOk) {
+    return from.stat;
+  }
+  if (to.stat != NfsStat::kOk) {
+    return to.stat;
+  }
+  if (inodes_[from.ino].type != FileType::kDirectory ||
+      inodes_[to.ino].type != FileType::kDirectory) {
+    return NfsStat::kNotDir;
+  }
+  if (!ValidName(to_name)) {
+    return to_name.size() > kMaxNameLen ? NfsStat::kNameTooLong
+                                        : NfsStat::kInval;
+  }
+  auto src_it = inodes_[from.ino].entries.find(from_name);
+  if (src_it == inodes_[from.ino].entries.end()) {
+    return NfsStat::kNoEnt;
+  }
+  Ino moving = src_it->second;
+  if (inodes_[moving].type == FileType::kDirectory && moving != to.ino &&
+      IsAncestor(moving, to.ino)) {
+    return NfsStat::kInval;
+  }
+  auto dst_it = inodes_[to.ino].entries.find(to_name);
+  if (dst_it != inodes_[to.ino].entries.end()) {
+    if (dst_it->second == moving) {
+      return NfsStat::kOk;
+    }
+    Inode& target = inodes_[dst_it->second];
+    bool target_is_dir = target.type == FileType::kDirectory;
+    bool moving_is_dir = inodes_[moving].type == FileType::kDirectory;
+    if (target_is_dir != moving_is_dir) {
+      return target_is_dir ? NfsStat::kIsDir : NfsStat::kNotDir;
+    }
+    NfsStat removed = RemoveEntry(to_dir, to_name, target_is_dir);
+    if (removed != NfsStat::kOk) {
+      return removed;
+    }
+  }
+  Inode& src = inodes_[from.ino];
+  src.entries.erase(from_name);
+  if (inodes_[moving].type == FileType::kDirectory) {
+    --src.subdirs;
+    ++inodes_[to.ino].subdirs;
+  }
+  inodes_[to.ino].entries[to_name] = moving;
+  inodes_[moving].parent = to.ino;
+  int64_t now = NowFine();
+  src.mtime_us = src.ctime_us = now;
+  inodes_[to.ino].mtime_us = inodes_[to.ino].ctime_us = now;
+  inodes_[moving].ctime_us = now;
+  return NfsStat::kOk;
+}
+
+FileSystem::ReadlinkResult TreeFs::Readlink(const Bytes& fh) {
+  Charge(26);
+  auto r = Resolve(fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  const Inode& inode = inodes_.at(r.ino);
+  if (inode.type != FileType::kSymlink) {
+    return {NfsStat::kInval, {}};
+  }
+  return {NfsStat::kOk, inode.target};
+}
+
+FileSystem::ReaddirResult TreeFs::Readdir(const Bytes& dir_fh) {
+  auto r = Resolve(dir_fh);
+  if (r.stat != NfsStat::kOk) {
+    return {r.stat, {}};
+  }
+  const Inode& dir = inodes_.at(r.ino);
+  if (dir.type != FileType::kDirectory) {
+    return {NfsStat::kNotDir, {}};
+  }
+  Charge(35 + static_cast<SimTime>(3 * dir.entries.size()));
+  ReaddirResult out;
+  out.stat = NfsStat::kOk;
+  // VendorB quirk: reverse lexicographic order.
+  for (auto it = dir.entries.rbegin(); it != dir.entries.rend(); ++it) {
+    out.entries.push_back(DirEntry{it->first, MakeHandle(it->second)});
+  }
+  return out;
+}
+
+FileSystem::StatfsResult TreeFs::Statfs() {
+  Charge(15);
+  StatfsResult out;
+  out.stat = NfsStat::kOk;
+  out.block_size = 1024;
+  out.total_blocks = 8u << 20;
+  uint64_t used = 0;
+  for (const auto& [ino, inode] : inodes_) {
+    used += (inode.data.size() + 1023) / 1024 + 2;
+  }
+  out.free_blocks = out.total_blocks > used ? out.total_blocks - used : 0;
+  return out;
+}
+
+bool TreeFs::CorruptObject(uint64_t fileid) {
+  for (auto& [ino, inode] : inodes_) {
+    if (inode.fileid == fileid && inode.type != FileType::kNone) {
+      if (inode.type == FileType::kRegular) {
+        if (inode.data.empty()) {
+          inode.data.push_back(0x7e);
+        } else {
+          for (uint8_t& b : inode.data) {
+            b ^= 0x7e;
+          }
+        }
+      } else if (inode.type == FileType::kSymlink) {
+        inode.target += "!corrupt";
+      } else {
+        inode.mode ^= 0777;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t TreeFs::MemoryFootprint() const {
+  size_t total = sizeof(*this) + inodes_.size() * (sizeof(Inode) + 64);
+  for (const auto& [ino, inode] : inodes_) {
+    total += inode.data.capacity() + inode.target.capacity() +
+             inode.entries.size() * 48;
+  }
+  return total;
+}
+
+}  // namespace bftbase

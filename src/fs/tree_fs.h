@@ -1,0 +1,97 @@
+// TreeFs ("VendorB"): a map-based file system.
+//
+// Representation choices (deliberately different from the other vendors):
+//   - inodes in a std::map keyed by a 64-bit inode number (never reused)
+//   - 16-byte file handles carrying a scrambled inode number salted with a
+//     per-boot value: every restart invalidates all outstanding handles
+//   - directories are sorted maps, but readdir returns REVERSE
+//     lexicographic order (vendor quirk)
+//   - microsecond timestamps
+//   - 1 KiB block accounting and different statfs geometry
+#ifndef SRC_FS_TREE_FS_H_
+#define SRC_FS_TREE_FS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "src/fs/file_system.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class TreeFs : public FileSystem {
+ public:
+  explicit TreeFs(Simulation* sim, FsClock clock = nullptr);
+
+  Bytes Root() override;
+  AttrResult GetAttr(const Bytes& fh) override;
+  AttrResult SetAttr(const Bytes& fh, const SetAttrs& attrs) override;
+  HandleResult Lookup(const Bytes& dir_fh, const std::string& name) override;
+  ReadResult Read(const Bytes& fh, uint64_t offset, uint32_t count) override;
+  AttrResult Write(const Bytes& fh, uint64_t offset, BytesView data) override;
+  HandleResult Create(const Bytes& dir_fh, const std::string& name,
+                      const SetAttrs& attrs) override;
+  NfsStat Remove(const Bytes& dir_fh, const std::string& name) override;
+  NfsStat Rename(const Bytes& from_dir, const std::string& from_name,
+                 const Bytes& to_dir, const std::string& to_name) override;
+  HandleResult Mkdir(const Bytes& dir_fh, const std::string& name,
+                     const SetAttrs& attrs) override;
+  NfsStat Rmdir(const Bytes& dir_fh, const std::string& name) override;
+  HandleResult Symlink(const Bytes& dir_fh, const std::string& name,
+                       const std::string& target,
+                       const SetAttrs& attrs) override;
+  ReadlinkResult Readlink(const Bytes& fh) override;
+  ReaddirResult Readdir(const Bytes& dir_fh) override;
+  StatfsResult Statfs() override;
+
+  void Restart() override;
+  void Reset() override;
+  bool CorruptObject(uint64_t fileid) override;
+  size_t MemoryFootprint() const override;
+  const char* Vendor() const override { return "treefs/2.3 (VendorB)"; }
+
+ private:
+  using Ino = uint64_t;
+  struct Inode {
+    FileType type = FileType::kNone;
+    uint32_t mode = 0;
+    uint32_t uid = 0;
+    uint32_t gid = 0;
+    uint64_t fileid = 0;
+    Ino parent = 0;
+    size_t subdirs = 0;
+    int64_t atime_us = 0;
+    int64_t mtime_us = 0;
+    int64_t ctime_us = 0;
+    Bytes data;
+    std::string target;
+    std::map<std::string, Ino> entries;  // sorted
+  };
+  struct ResolveResult {
+    NfsStat stat;
+    Ino ino;
+  };
+
+  void Charge(SimTime cost) const;
+  int64_t NowFine() const;
+  Bytes MakeHandle(Ino ino) const;
+  ResolveResult Resolve(const Bytes& fh) const;
+  Fattr AttrOf(Ino ino) const;
+  HandleResult CreateObject(const Bytes& dir_fh, const std::string& name,
+                            const SetAttrs& attrs, FileType type,
+                            const std::string& target);
+  NfsStat RemoveEntry(const Bytes& dir_fh, const std::string& name,
+                      bool dir_expected);
+  bool IsAncestor(Ino maybe_ancestor, Ino node) const;
+
+  Simulation* sim_;
+  FsClock clock_;
+  std::map<Ino, Inode> inodes_;
+  Ino next_ino_ = 1;
+  uint64_t boot_salt_ = 0x5eedULL;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_FS_TREE_FS_H_

@@ -1,0 +1,45 @@
+#include "src/fs/types.h"
+
+namespace bftbase {
+
+const char* NfsStatName(NfsStat stat) {
+  switch (stat) {
+    case NfsStat::kOk:
+      return "NFS_OK";
+    case NfsStat::kPerm:
+      return "NFSERR_PERM";
+    case NfsStat::kNoEnt:
+      return "NFSERR_NOENT";
+    case NfsStat::kIo:
+      return "NFSERR_IO";
+    case NfsStat::kAcces:
+      return "NFSERR_ACCES";
+    case NfsStat::kExist:
+      return "NFSERR_EXIST";
+    case NfsStat::kNoDev:
+      return "NFSERR_NODEV";
+    case NfsStat::kNotDir:
+      return "NFSERR_NOTDIR";
+    case NfsStat::kIsDir:
+      return "NFSERR_ISDIR";
+    case NfsStat::kInval:
+      return "NFSERR_INVAL";
+    case NfsStat::kFBig:
+      return "NFSERR_FBIG";
+    case NfsStat::kNoSpc:
+      return "NFSERR_NOSPC";
+    case NfsStat::kRoFs:
+      return "NFSERR_ROFS";
+    case NfsStat::kNameTooLong:
+      return "NFSERR_NAMETOOLONG";
+    case NfsStat::kNotEmpty:
+      return "NFSERR_NOTEMPTY";
+    case NfsStat::kDQuot:
+      return "NFSERR_DQUOT";
+    case NfsStat::kStale:
+      return "NFSERR_STALE";
+  }
+  return "NFSERR_UNKNOWN";
+}
+
+}  // namespace bftbase

@@ -1,0 +1,85 @@
+// Common file-service types (NFSv2-shaped, RFC 1094).
+#ifndef SRC_FS_TYPES_H_
+#define SRC_FS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace bftbase {
+
+// NFS status codes (the subset the service uses), RFC 1094 values.
+enum class NfsStat : uint32_t {
+  kOk = 0,
+  kPerm = 1,
+  kNoEnt = 2,
+  kIo = 5,
+  kAcces = 13,
+  kExist = 17,
+  kNoDev = 19,
+  kNotDir = 20,
+  kIsDir = 21,
+  kInval = 22,
+  kFBig = 27,
+  kNoSpc = 28,
+  kRoFs = 30,
+  kNameTooLong = 63,
+  kNotEmpty = 66,
+  kDQuot = 69,
+  kStale = 70,
+};
+
+const char* NfsStatName(NfsStat stat);
+
+enum class FileType : uint32_t {
+  kNone = 0,  // NFNON: free slot / no object
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 5,  // NFLNK
+};
+
+// File attributes (the NFS fattr structure). Concrete implementations fill
+// all fields from their internal state; the conformance wrapper replaces the
+// implementation-specific fields (fsid, fileid, timestamps, blocks) with
+// abstract values.
+struct Fattr {
+  FileType type = FileType::kNone;
+  uint32_t mode = 0;
+  uint32_t nlink = 0;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t size = 0;
+  uint32_t blocksize = 0;
+  uint64_t blocks = 0;
+  uint64_t fsid = 0;
+  uint64_t fileid = 0;
+  int64_t atime_us = 0;
+  int64_t mtime_us = 0;
+  int64_t ctime_us = 0;
+};
+
+// Mutable attributes for SETATTR / CREATE. ~0 fields mean "do not set".
+struct SetAttrs {
+  static constexpr uint32_t kKeep32 = 0xffffffffu;
+  static constexpr uint64_t kKeep64 = ~uint64_t{0};
+  uint32_t mode = kKeep32;
+  uint32_t uid = kKeep32;
+  uint32_t gid = kKeep32;
+  uint64_t size = kKeep64;  // setting truncates/extends regular files
+};
+
+// One concrete directory entry as returned by an implementation's readdir.
+// The order of entries is implementation-specific (this is one of the
+// non-determinisms the conformance wrapper must hide).
+struct DirEntry {
+  std::string name;
+  Bytes fh;  // concrete file handle (opaque, implementation-specific)
+};
+
+constexpr size_t kMaxNameLen = 255;
+
+}  // namespace bftbase
+
+#endif  // SRC_FS_TYPES_H_

@@ -1,0 +1,209 @@
+#include "src/oodb/object_db.h"
+
+namespace bftbase {
+
+ObjectDb::ObjectDb(Simulation* sim, uint64_t instance_salt)
+    : sim_(sim), salt_(instance_salt) {}
+
+void ObjectDb::Charge(SimTime cost) const {
+  if (sim_ != nullptr) {
+    sim_->ChargeCpu(cost);
+  }
+}
+
+ObjectDb::DbId ObjectDb::AllocId() {
+  if (!free_pool_.empty()) {
+    DbId id = free_pool_.back();
+    free_pool_.pop_back();
+    return id;
+  }
+  // Scrambled allocation: mimics pointer-like ids whose values depend on the
+  // process instance, not on the logical operation history.
+  ++counter_;
+  return (counter_ * 0x9e3779b97f4a7c15ULL) ^ salt_;
+}
+
+ObjectDb::DbId ObjectDb::Create(const std::string& klass) {
+  Charge(15);
+  DbId id = AllocId();
+  ObjectData data;
+  data.klass = klass;
+  objects_.emplace(id, std::move(data));
+  return id;
+}
+
+Status ObjectDb::Delete(DbId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  objects_.erase(it);
+  // Referential integrity: scrub incoming references so a later reuse of
+  // the id can never be confused with the deleted object.
+  size_t scanned = 0;
+  for (auto& [other_id, data] : objects_) {
+    for (auto& [field, targets] : data.refs) {
+      targets.erase(std::remove(targets.begin(), targets.end(), id),
+                    targets.end());
+      scanned += targets.size();
+    }
+  }
+  Charge(12 + static_cast<SimTime>(scanned / 64));
+  free_pool_.push_back(id);
+  return Status::Ok();
+}
+
+Status ObjectDb::SetScalar(DbId id, const std::string& field, int64_t value) {
+  Charge(8);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  it->second.scalars[field] = value;
+  return Status::Ok();
+}
+
+Result<int64_t> ObjectDb::GetScalar(DbId id, const std::string& field) const {
+  Charge(6);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  auto f = it->second.scalars.find(field);
+  if (f == it->second.scalars.end()) {
+    return NotFound("no such field");
+  }
+  return f->second;
+}
+
+Status ObjectDb::SetString(DbId id, const std::string& field,
+                           std::string value) {
+  Charge(8);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  it->second.strings[field] = std::move(value);
+  return Status::Ok();
+}
+
+Result<std::string> ObjectDb::GetString(DbId id,
+                                        const std::string& field) const {
+  Charge(6);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  auto f = it->second.strings.find(field);
+  if (f == it->second.strings.end()) {
+    return NotFound("no such field");
+  }
+  return f->second;
+}
+
+Status ObjectDb::ClearFields(DbId id) {
+  Charge(8);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  it->second.scalars.clear();
+  it->second.strings.clear();
+  it->second.refs.clear();
+  return Status::Ok();
+}
+
+Status ObjectDb::AddRef(DbId id, const std::string& field, DbId target) {
+  Charge(10);
+  auto it = objects_.find(id);
+  if (it == objects_.end() || objects_.count(target) == 0) {
+    return NotFound("no such object");
+  }
+  it->second.refs[field].push_back(target);
+  return Status::Ok();
+}
+
+Status ObjectDb::RemoveRef(DbId id, const std::string& field, DbId target) {
+  Charge(10);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  auto f = it->second.refs.find(field);
+  if (f == it->second.refs.end()) {
+    return NotFound("no such field");
+  }
+  for (auto ref = f->second.begin(); ref != f->second.end(); ++ref) {
+    if (*ref == target) {
+      f->second.erase(ref);
+      return Status::Ok();
+    }
+  }
+  return NotFound("no such reference");
+}
+
+Result<std::vector<ObjectDb::DbId>> ObjectDb::GetRefs(
+    DbId id, const std::string& field) const {
+  Charge(8);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFound("no such object");
+  }
+  auto f = it->second.refs.find(field);
+  if (f == it->second.refs.end()) {
+    return std::vector<DbId>();
+  }
+  return f->second;
+}
+
+const ObjectDb::ObjectData* ObjectDb::Get(DbId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<ObjectDb::DbId> ObjectDb::Scan() const {
+  Charge(static_cast<SimTime>(5 + objects_.size() / 8));
+  std::vector<DbId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, data] : objects_) {  // hash order
+    out.push_back(id);
+  }
+  return out;
+}
+
+void ObjectDb::Reset() {
+  objects_.clear();
+  free_pool_.clear();
+  counter_ = 0;
+  // A fresh process instance would land at a different address-space
+  // layout; model that by perturbing the salt.
+  salt_ = salt_ * 6364136223846793005ULL + 0x0dbULL;
+}
+
+bool ObjectDb::Corrupt(DbId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return false;
+  }
+  it->second.klass += "!corrupt";
+  for (auto& [field, value] : it->second.scalars) {
+    value ^= 0x5a5a5a5a;
+  }
+  return true;
+}
+
+size_t ObjectDb::MemoryFootprint() const {
+  size_t total = sizeof(*this) + objects_.size() * 128;
+  for (const auto& [id, data] : objects_) {
+    total += data.klass.size();
+    for (const auto& [k, v] : data.strings) {
+      total += k.size() + v.size();
+    }
+    for (const auto& [k, v] : data.refs) {
+      total += k.size() + v.size() * 8;
+    }
+  }
+  return total;
+}
+
+}  // namespace bftbase

@@ -1,0 +1,233 @@
+#include "src/oodb/oodb_session.h"
+
+namespace bftbase {
+
+namespace {
+
+Status FromDbStatus(uint32_t status) {
+  if (status == 0) {
+    return Status::Ok();
+  }
+  if (status == 1) {
+    return NotFound("db object/field not found");
+  }
+  return InvalidArgument("invalid db call");
+}
+
+}  // namespace
+
+Result<Oid> OodbSession::Create(const std::string& klass) {
+  DbCall call;
+  call.proc = DbProc::kCreate;
+  call.klass = klass;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != 0) {
+    return FromDbStatus(reply->status);
+  }
+  return reply->oid;
+}
+
+Status OodbSession::Delete(Oid oid) {
+  DbCall call;
+  call.proc = DbProc::kDelete;
+  call.oid = oid;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromDbStatus(reply->status);
+}
+
+Status OodbSession::SetScalar(Oid oid, const std::string& field,
+                              int64_t value) {
+  DbCall call;
+  call.proc = DbProc::kSetScalar;
+  call.oid = oid;
+  call.field = field;
+  call.value = value;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromDbStatus(reply->status);
+}
+
+Result<int64_t> OodbSession::GetScalar(Oid oid, const std::string& field) {
+  DbCall call;
+  call.proc = DbProc::kGetScalar;
+  call.oid = oid;
+  call.field = field;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != 0) {
+    return FromDbStatus(reply->status);
+  }
+  return reply->value;
+}
+
+Status OodbSession::SetString(Oid oid, const std::string& field,
+                              const std::string& v) {
+  DbCall call;
+  call.proc = DbProc::kSetString;
+  call.oid = oid;
+  call.field = field;
+  call.text = v;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromDbStatus(reply->status);
+}
+
+Result<std::string> OodbSession::GetString(Oid oid, const std::string& field) {
+  DbCall call;
+  call.proc = DbProc::kGetString;
+  call.oid = oid;
+  call.field = field;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != 0) {
+    return FromDbStatus(reply->status);
+  }
+  return reply->text;
+}
+
+Status OodbSession::AddRef(Oid oid, const std::string& field, Oid target) {
+  DbCall call;
+  call.proc = DbProc::kAddRef;
+  call.oid = oid;
+  call.field = field;
+  call.target = target;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return FromDbStatus(reply->status);
+}
+
+Result<std::vector<Oid>> OodbSession::GetRefs(Oid oid,
+                                              const std::string& field) {
+  DbCall call;
+  call.proc = DbProc::kGetRefs;
+  call.oid = oid;
+  call.field = field;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != 0) {
+    return FromDbStatus(reply->status);
+  }
+  return std::move(reply->oids);
+}
+
+Result<std::pair<uint64_t, int64_t>> OodbSession::Traverse(
+    Oid root, const std::string& field, uint32_t depth) {
+  DbCall call;
+  call.proc = DbProc::kTraverse;
+  call.oid = root;
+  call.field = field;
+  call.depth = depth;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != 0) {
+    return FromDbStatus(reply->status);
+  }
+  return std::make_pair(reply->visited, reply->value);
+}
+
+Result<std::vector<Oid>> OodbSession::Scan() {
+  DbCall call;
+  call.proc = DbProc::kScan;
+  auto reply = Call(call);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->status != 0) {
+    return FromDbStatus(reply->status);
+  }
+  return std::move(reply->oids);
+}
+
+// -------------------------------------------------------------------- relay
+
+ReplicatedOodbSession::ReplicatedOodbSession(ServiceGroup* group,
+                                             int client_index,
+                                             SimTime op_timeout)
+    : group_(group), client_index_(client_index), op_timeout_(op_timeout) {}
+
+Result<DbReply> ReplicatedOodbSession::Call(const DbCall& call) {
+  bool read_only = IsReadOnlyDbProc(call.proc);
+  auto result = group_->client(client_index_)
+                    .InvokeSync(call.Encode(), read_only, op_timeout_);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return DbReply::Decode(*result);
+}
+
+// ----------------------------------------------------------- plain baseline
+
+PlainOodbServer::PlainOodbServer(Simulation* sim, NodeId id,
+                                 uint32_t array_size)
+    : sim_(sim),
+      id_(id),
+      wrapper_(
+          sim,
+          [sim] { return std::make_unique<ObjectDb>(sim, 0xba5eULL); },
+          OodbConformanceWrapper::Options{array_size}) {
+  sim_->AddNode(id_, this);
+}
+
+void PlainOodbServer::OnMessage(NodeId from, const Bytes& payload) {
+  Bytes reply = wrapper_.Execute(payload, from, Bytes(), /*tentative=*/false);
+  sim_->network().Send(id_, from, reply);
+}
+
+PlainOodbSession::PlainOodbSession(Simulation* sim, NodeId id, NodeId server,
+                                   SimTime op_timeout)
+    : sim_(sim), id_(id), server_(server), op_timeout_(op_timeout) {
+  sim_->AddNode(id_, this);
+}
+
+void PlainOodbSession::OnMessage(NodeId /*from*/, const Bytes& payload) {
+  reply_bytes_ = payload;
+  reply_ready_ = true;
+}
+
+Result<DbReply> PlainOodbSession::Call(const DbCall& call) {
+  reply_ready_ = false;
+  sim_->network().Send(id_, server_, call.Encode());
+  if (!sim_->RunUntilTrue([&] { return reply_ready_; },
+                          sim_->Now() + op_timeout_)) {
+    return Unavailable("db call timed out");
+  }
+  return DbReply::Decode(reply_bytes_);
+}
+
+std::unique_ptr<ServiceGroup> MakeOodbGroup(ServiceGroup::Params params,
+                                            uint32_t array_size) {
+  return std::make_unique<ServiceGroup>(
+      params,
+      [array_size](Simulation* sim, NodeId id)
+          -> std::unique_ptr<ServiceAdapter> {
+        // Same implementation at every replica, but a different instance
+        // salt: identical logic, divergent internal ids — the paper's
+        // "same, non-deterministic implementation" configuration.
+        uint64_t salt = 0x0DB0 + 7919ULL * (id + 1);
+        return std::make_unique<OodbConformanceWrapper>(
+            sim, [sim, salt] { return std::make_unique<ObjectDb>(sim, salt); },
+            OodbConformanceWrapper::Options{array_size});
+      });
+}
+
+}  // namespace bftbase

@@ -1,0 +1,86 @@
+// Client-side API and service factories for the replicated object database.
+#ifndef SRC_OODB_OODB_SESSION_H_
+#define SRC_OODB_OODB_SESSION_H_
+
+#include <memory>
+
+#include "src/base/service_group.h"
+#include "src/oodb/oodb_spec.h"
+#include "src/oodb/oodb_wrapper.h"
+
+namespace bftbase {
+
+class OodbSession {
+ public:
+  virtual ~OodbSession() = default;
+  virtual Result<DbReply> Call(const DbCall& call) = 0;
+
+  // --- Convenience wrappers ----------------------------------------------------
+  Result<Oid> Create(const std::string& klass);
+  Status Delete(Oid oid);
+  Status SetScalar(Oid oid, const std::string& field, int64_t value);
+  Result<int64_t> GetScalar(Oid oid, const std::string& field);
+  Status SetString(Oid oid, const std::string& field, const std::string& v);
+  Result<std::string> GetString(Oid oid, const std::string& field);
+  Status AddRef(Oid oid, const std::string& field, Oid target);
+  Result<std::vector<Oid>> GetRefs(Oid oid, const std::string& field);
+  // Returns (visited, sum-of-"value") of a DFS along `field`.
+  Result<std::pair<uint64_t, int64_t>> Traverse(Oid root,
+                                                const std::string& field,
+                                                uint32_t depth);
+  Result<std::vector<Oid>> Scan();
+};
+
+// Relay through the replication library.
+class ReplicatedOodbSession : public OodbSession {
+ public:
+  ReplicatedOodbSession(ServiceGroup* group, int client_index,
+                        SimTime op_timeout = 120 * kSecond);
+  Result<DbReply> Call(const DbCall& call) override;
+
+ private:
+  ServiceGroup* group_;
+  int client_index_;
+  SimTime op_timeout_;
+};
+
+// Unreplicated baseline: one wrapper over one engine, invoked via the
+// simulated network (request + reply latency, no agreement, no crypto).
+class PlainOodbServer : public SimNode {
+ public:
+  PlainOodbServer(Simulation* sim, NodeId id, uint32_t array_size);
+  void OnMessage(NodeId from, const Bytes& payload) override;
+  OodbConformanceWrapper& wrapper() { return wrapper_; }
+
+ private:
+  Simulation* sim_;
+  NodeId id_;
+  OodbConformanceWrapper wrapper_;
+};
+
+class PlainOodbSession : public OodbSession, public SimNode {
+ public:
+  PlainOodbSession(Simulation* sim, NodeId id, NodeId server,
+                   SimTime op_timeout = 30 * kSecond);
+  Result<DbReply> Call(const DbCall& call) override;
+  void OnMessage(NodeId from, const Bytes& payload) override;
+
+ private:
+  Simulation* sim_;
+  NodeId id_;
+  NodeId server_;
+  SimTime op_timeout_;
+  bool reply_ready_ = false;
+  Bytes reply_bytes_;
+};
+
+// Builds a replicated OODB group: every replica runs the same engine but
+// with a different instance salt (same implementation, different
+// non-deterministic behaviour — the configuration from the paper's
+// abstract).
+std::unique_ptr<ServiceGroup> MakeOodbGroup(ServiceGroup::Params params,
+                                            uint32_t array_size = 1024);
+
+}  // namespace bftbase
+
+#endif  // SRC_OODB_OODB_SESSION_H_

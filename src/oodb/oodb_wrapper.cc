@@ -1,0 +1,339 @@
+#include "src/oodb/oodb_wrapper.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/log.h"
+
+namespace bftbase {
+
+namespace {
+constexpr uint32_t kNoIndex = 0xffffffffu;
+}  // namespace
+
+OodbConformanceWrapper::OodbConformanceWrapper(Simulation* sim,
+                                               DbFactory factory,
+                                               Options options)
+    : sim_(sim), factory_(std::move(factory)), options_(options) {
+  RestartClean();
+}
+
+void OodbConformanceWrapper::RestartClean() {
+  db_ = factory_();
+  rep_.assign(options_.array_size, RepEntry());
+  dbid_to_index_.clear();
+}
+
+OodbConformanceWrapper::RepEntry* OodbConformanceWrapper::ResolveOid(
+    Oid oid, uint32_t* out_index) {
+  uint32_t index = OidIndex(oid);
+  if (index >= rep_.size()) {
+    return nullptr;
+  }
+  RepEntry& entry = rep_[index];
+  if (!entry.in_use || entry.gen != OidGeneration(oid)) {
+    return nullptr;
+  }
+  if (out_index != nullptr) {
+    *out_index = index;
+  }
+  return &entry;
+}
+
+bool OodbConformanceWrapper::AllocIndex(uint32_t* out_index) {
+  for (uint32_t i = 0; i < rep_.size(); ++i) {
+    if (!rep_[i].in_use) {
+      *out_index = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+Oid OodbConformanceWrapper::OidOfDbId(ObjectDb::DbId id) const {
+  auto it = dbid_to_index_.find(id);
+  if (it == dbid_to_index_.end()) {
+    return 0;
+  }
+  return MakeOid(it->second, rep_[it->second].gen);
+}
+
+Bytes OodbConformanceWrapper::Execute(BytesView op, NodeId /*client*/,
+                                      BytesView /*nondet*/, bool tentative) {
+  if (sim_ != nullptr) {
+    sim_->ChargeCpu(5);
+  }
+  auto call = DbCall::Decode(op);
+  DbReply reply;
+  if (!call.ok()) {
+    reply.status = 2;
+    return reply.Encode();
+  }
+  if (tentative && !IsReadOnlyDbProc(call->proc)) {
+    reply.status = 2;
+    return reply.Encode();
+  }
+  return Dispatch(*call, tentative).Encode();
+}
+
+DbReply OodbConformanceWrapper::Dispatch(const DbCall& call,
+                                         bool /*tentative*/) {
+  DbReply reply;
+  switch (call.proc) {
+    case DbProc::kCreate: {
+      uint32_t index = 0;
+      if (!AllocIndex(&index)) {
+        reply.status = 2;
+        return reply;
+      }
+      NotifyModify(index);
+      ObjectDb::DbId id = db_->Create(call.klass);
+      RepEntry& entry = rep_[index];
+      entry.in_use = true;
+      entry.gen += 1;
+      entry.db_id = id;
+      dbid_to_index_[id] = index;
+      reply.oid = MakeOid(index, entry.gen);
+      return reply;
+    }
+    case DbProc::kDelete: {
+      uint32_t index = 0;
+      RepEntry* entry = ResolveOid(call.oid, &index);
+      if (entry == nullptr) {
+        reply.status = 1;
+        return reply;
+      }
+      NotifyModify(index);
+      db_->Delete(entry->db_id);
+      dbid_to_index_.erase(entry->db_id);
+      uint32_t gen = entry->gen;
+      *entry = RepEntry();
+      entry->gen = gen;
+      return reply;
+    }
+    case DbProc::kSetScalar:
+    case DbProc::kSetString:
+    case DbProc::kAddRef:
+    case DbProc::kRemoveRef: {
+      uint32_t index = 0;
+      RepEntry* entry = ResolveOid(call.oid, &index);
+      if (entry == nullptr) {
+        reply.status = 1;
+        return reply;
+      }
+      NotifyModify(index);
+      Status status;
+      if (call.proc == DbProc::kSetScalar) {
+        status = db_->SetScalar(entry->db_id, call.field, call.value);
+      } else if (call.proc == DbProc::kSetString) {
+        status = db_->SetString(entry->db_id, call.field, call.text);
+      } else {
+        RepEntry* target = ResolveOid(call.target, nullptr);
+        if (target == nullptr) {
+          reply.status = 1;
+          return reply;
+        }
+        status = call.proc == DbProc::kAddRef
+                     ? db_->AddRef(entry->db_id, call.field, target->db_id)
+                     : db_->RemoveRef(entry->db_id, call.field,
+                                      target->db_id);
+      }
+      reply.status = status.ok() ? 0 : 1;
+      return reply;
+    }
+    case DbProc::kGetScalar: {
+      RepEntry* entry = ResolveOid(call.oid, nullptr);
+      if (entry == nullptr) {
+        reply.status = 1;
+        return reply;
+      }
+      auto value = db_->GetScalar(entry->db_id, call.field);
+      if (!value.ok()) {
+        reply.status = 1;
+        return reply;
+      }
+      reply.value = *value;
+      return reply;
+    }
+    case DbProc::kGetString: {
+      RepEntry* entry = ResolveOid(call.oid, nullptr);
+      if (entry == nullptr) {
+        reply.status = 1;
+        return reply;
+      }
+      auto value = db_->GetString(entry->db_id, call.field);
+      if (!value.ok()) {
+        reply.status = 1;
+        return reply;
+      }
+      reply.text = *value;
+      return reply;
+    }
+    case DbProc::kGetRefs: {
+      RepEntry* entry = ResolveOid(call.oid, nullptr);
+      if (entry == nullptr) {
+        reply.status = 1;
+        return reply;
+      }
+      auto refs = db_->GetRefs(entry->db_id, call.field);
+      if (!refs.ok()) {
+        reply.status = 1;
+        return reply;
+      }
+      for (ObjectDb::DbId id : *refs) {
+        reply.oids.push_back(OidOfDbId(id));
+      }
+      return reply;
+    }
+    case DbProc::kTraverse: {
+      RepEntry* entry = ResolveOid(call.oid, nullptr);
+      if (entry == nullptr) {
+        reply.status = 1;
+        return reply;
+      }
+      // Deterministic DFS along `field`, summing the scalar "value" of each
+      // visited object; cycle-safe.
+      std::set<ObjectDb::DbId> seen;
+      std::vector<std::pair<ObjectDb::DbId, uint32_t>> stack;
+      stack.emplace_back(entry->db_id, 0);
+      while (!stack.empty()) {
+        auto [id, depth] = stack.back();
+        stack.pop_back();
+        if (!seen.insert(id).second) {
+          continue;
+        }
+        ++reply.visited;
+        auto value = db_->GetScalar(id, "value");
+        if (value.ok()) {
+          reply.value += *value;
+        }
+        if (depth >= call.depth) {
+          continue;
+        }
+        auto refs = db_->GetRefs(id, call.field);
+        if (refs.ok()) {
+          // Push in reverse so traversal follows reference order.
+          for (auto it = refs->rbegin(); it != refs->rend(); ++it) {
+            stack.emplace_back(*it, depth + 1);
+          }
+        }
+      }
+      return reply;
+    }
+    case DbProc::kScan: {
+      // The engine enumerates in hash order; the spec requires sorted oids.
+      std::vector<Oid> oids;
+      for (ObjectDb::DbId id : db_->Scan()) {
+        Oid oid = OidOfDbId(id);
+        if (oid != 0) {
+          oids.push_back(oid);
+        }
+      }
+      std::sort(oids.begin(), oids.end());
+      reply.oids = std::move(oids);
+      return reply;
+    }
+    case DbProc::kCount:
+      reply.value = static_cast<int64_t>(db_->ObjectCount());
+      return reply;
+  }
+  reply.status = 2;
+  return reply;
+}
+
+Bytes OodbConformanceWrapper::GetObj(size_t index) {
+  AbstractDbObject obj;
+  if (index >= rep_.size()) {
+    return obj.Encode();
+  }
+  const RepEntry& entry = rep_[index];
+  obj.generation = entry.gen;
+  obj.live = entry.in_use;
+  if (!entry.in_use) {
+    return obj.Encode();
+  }
+  const ObjectDb::ObjectData* data = db_->Get(entry.db_id);
+  if (data == nullptr) {
+    LOG_ERROR << "oodb wrapper: rep references missing engine object";
+    return obj.Encode();
+  }
+  obj.klass = data->klass;
+  obj.scalars = data->scalars;
+  obj.strings = data->strings;
+  for (const auto& [field, targets] : data->refs) {
+    std::vector<Oid> oids;
+    oids.reserve(targets.size());
+    for (ObjectDb::DbId id : targets) {
+      oids.push_back(OidOfDbId(id));
+    }
+    obj.refs[field] = std::move(oids);
+  }
+  return obj.Encode();
+}
+
+void OodbConformanceWrapper::PutObjs(const std::vector<ObjectUpdate>& objs) {
+  std::map<uint32_t, AbstractDbObject> updates;
+  for (const ObjectUpdate& update : objs) {
+    auto decoded = AbstractDbObject::Decode(update.value);
+    if (!decoded.ok() || update.index >= rep_.size()) {
+      LOG_ERROR << "oodb wrapper: malformed abstract object";
+      continue;
+    }
+    updates[static_cast<uint32_t>(update.index)] = std::move(*decoded);
+  }
+
+  // Pass 1: fix identities — delete dead/replaced engine objects, create
+  // fresh ones for new slots. All creations happen before any reference is
+  // written, so references across the update set resolve (the library's
+  // consistency guarantee makes this sufficient).
+  for (const auto& [i, obj] : updates) {
+    RepEntry& entry = rep_[i];
+    bool replace = entry.in_use && (!obj.live || entry.gen != obj.generation);
+    if (replace) {
+      db_->Delete(entry.db_id);
+      dbid_to_index_.erase(entry.db_id);
+      entry.in_use = false;
+    }
+    if (obj.live && !entry.in_use) {
+      entry.db_id = db_->Create(obj.klass);
+      entry.in_use = true;
+      dbid_to_index_[entry.db_id] = i;
+    }
+    entry.gen = obj.generation;
+  }
+
+  // Pass 2: contents. Rewrite fields from the abstract value; references
+  // are translated through the (now complete) oid mapping.
+  for (const auto& [i, obj] : updates) {
+    if (!obj.live) {
+      continue;
+    }
+    RepEntry& entry = rep_[i];
+    db_->ClearFields(entry.db_id);
+    for (const auto& [field, value] : obj.scalars) {
+      db_->SetScalar(entry.db_id, field, value);
+    }
+    for (const auto& [field, value] : obj.strings) {
+      db_->SetString(entry.db_id, field, value);
+    }
+    for (const auto& [field, targets] : obj.refs) {
+      for (Oid target : targets) {
+        RepEntry* target_entry = ResolveOid(target, nullptr);
+        if (target_entry == nullptr) {
+          LOG_ERROR << "oodb wrapper: dangling abstract reference";
+          continue;
+        }
+        db_->AddRef(entry.db_id, field, target_entry->db_id);
+      }
+    }
+  }
+}
+
+bool OodbConformanceWrapper::CorruptConcreteObject(uint32_t index) {
+  if (index >= rep_.size() || !rep_[index].in_use) {
+    return false;
+  }
+  return db_->Corrupt(rep_[index].db_id);
+}
+
+}  // namespace bftbase

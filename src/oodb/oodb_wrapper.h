@@ -1,0 +1,67 @@
+// Conformance wrapper for the object database.
+//
+// Hides the engine's non-determinism behind the common abstract
+// specification in oodb_spec.h: deterministic slot allocation maps abstract
+// oids to the engine's scrambled internal ids, SCAN results are sorted, and
+// the abstraction function / inverse move state through the abstract
+// encoding so two engine instances with completely different internal ids
+// agree bit-for-bit on their abstract state.
+#ifndef SRC_OODB_OODB_WRAPPER_H_
+#define SRC_OODB_OODB_WRAPPER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/adapter.h"
+#include "src/oodb/object_db.h"
+#include "src/oodb/oodb_spec.h"
+
+namespace bftbase {
+
+class OodbConformanceWrapper : public ServiceAdapter {
+ public:
+  struct Options {
+    uint32_t array_size = 1024;
+  };
+
+  using DbFactory = std::function<std::unique_ptr<ObjectDb>()>;
+
+  OodbConformanceWrapper(Simulation* sim, DbFactory factory, Options options);
+  OodbConformanceWrapper(Simulation* sim, DbFactory factory)
+      : OodbConformanceWrapper(sim, std::move(factory), Options{}) {}
+
+  Bytes Execute(BytesView op, NodeId client, BytesView nondet,
+                bool tentative) override;
+  Bytes GetObj(size_t index) override;
+  void PutObjs(const std::vector<ObjectUpdate>& objs) override;
+  size_t ObjectCount() const override { return options_.array_size; }
+  void RestartClean() override;
+
+  ObjectDb* engine() { return db_.get(); }
+  // Fault hook: corrupts the engine object behind an abstract slot.
+  bool CorruptConcreteObject(uint32_t index);
+
+ private:
+  struct RepEntry {
+    bool in_use = false;
+    uint32_t gen = 0;
+    ObjectDb::DbId db_id = 0;
+  };
+
+  DbReply Dispatch(const DbCall& call, bool tentative);
+  RepEntry* ResolveOid(Oid oid, uint32_t* out_index);
+  bool AllocIndex(uint32_t* out_index);
+  Oid OidOfDbId(ObjectDb::DbId id) const;
+
+  Simulation* sim_;
+  DbFactory factory_;
+  Options options_;
+  std::unique_ptr<ObjectDb> db_;
+  std::vector<RepEntry> rep_;
+  std::map<ObjectDb::DbId, uint32_t> dbid_to_index_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_OODB_OODB_WRAPPER_H_

@@ -1,0 +1,67 @@
+// Virtual-time cost model.
+//
+// The paper's evaluation ran on a switched 100 Mbit LAN of ~450 MHz machines.
+// We replace that testbed with a deterministic simulation; these constants
+// calibrate the simulation so that the *relative* results (protocol overhead,
+// crossover points) are meaningful. All times are in virtual microseconds.
+//
+// Measured quantities that back the defaults:
+//   - UDP one-way latency on that era's LAN: ~70 us + ~0.08 us/byte (100 Mbit).
+//   - SHA-256-class digest: ~100 MB/s on a 450 MHz CPU => ~0.01 us/byte.
+//   - HMAC: digest cost plus small constant.
+//   - Disk (for simulated reboots / synchronous saves): ~8 ms seek+rotate.
+#ifndef SRC_SIM_COST_MODEL_H_
+#define SRC_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace bftbase {
+
+// Virtual time, in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+
+struct CostModel {
+  // Network.
+  SimTime wire_latency_us = 70;        // per-message one-way latency
+  double wire_us_per_byte = 0.08;      // 100 Mbit/s ~ 0.08 us/byte
+  SimTime message_handling_us = 15;    // kernel+UDP stack per message
+
+  // Crypto.
+  double digest_us_per_byte = 0.01;    // streaming hash throughput
+  SimTime digest_fixed_us = 1;         // per-call setup
+  SimTime mac_fixed_us = 2;            // HMAC setup (two short hashes)
+
+  // Storage (used by proactive recovery's save/reboot path).
+  SimTime disk_sync_write_us = 8 * kMillisecond;
+  double disk_us_per_byte = 0.03;      // ~30 MB/s sequential
+  SimTime reboot_us = 30 * kSecond;    // OS reboot during proactive recovery
+
+  SimTime MessageLatency(size_t bytes) const {
+    return wire_latency_us +
+           static_cast<SimTime>(static_cast<double>(bytes) * wire_us_per_byte) +
+           message_handling_us;
+  }
+
+  SimTime DigestCost(size_t bytes) const {
+    return digest_fixed_us +
+           static_cast<SimTime>(static_cast<double>(bytes) * digest_us_per_byte);
+  }
+
+  SimTime MacCost(size_t bytes) const {
+    return mac_fixed_us + DigestCost(bytes);
+  }
+
+  SimTime DiskWriteCost(size_t bytes) const {
+    return disk_sync_write_us +
+           static_cast<SimTime>(static_cast<double>(bytes) * disk_us_per_byte);
+  }
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_SIM_COST_MODEL_H_

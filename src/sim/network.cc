@@ -1,0 +1,69 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+
+#include "src/util/log.h"
+
+namespace bftbase {
+
+void Network::Send(NodeId from, NodeId to, Bytes payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+
+  if (isolated_.count(from) > 0 || isolated_.count(to) > 0 ||
+      LinkBlocked(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (drop_probability_ > 0.0 && sim_->rng().NextBool(drop_probability_)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (interceptor_) {
+    if (!interceptor_(from, to, payload)) {
+      ++messages_dropped_;
+      return;
+    }
+  }
+
+  SimTime latency;
+  if (from == to) {
+    latency = sim_->cost().message_handling_us;  // loopback
+  } else {
+    latency = sim_->cost().MessageLatency(payload.size());
+    if (jitter_us_ > 0) {
+      latency += static_cast<SimTime>(
+          sim_->rng().NextBelow(static_cast<uint64_t>(jitter_us_) + 1));
+    }
+  }
+  // Messages leave the sender once its handler's accumulated CPU work is
+  // done; this is what makes MAC/digest computation show up in end-to-end
+  // latency.
+  SimTime depart = sim_->CurrentHandlerFinishTime();
+  sim_->ScheduleDelivery(depart + latency, to, from, std::move(payload));
+}
+
+void Network::Multicast(NodeId from, NodeId first, NodeId last,
+                        const Bytes& payload) {
+  for (NodeId id = first; id < last; ++id) {
+    Send(from, id, payload);
+  }
+}
+
+void Network::BlockLink(NodeId a, NodeId b) {
+  blocked_links_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::UnblockLink(NodeId a, NodeId b) {
+  blocked_links_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::Isolate(NodeId node) { isolated_.insert(node); }
+
+void Network::Heal(NodeId node) { isolated_.erase(node); }
+
+bool Network::LinkBlocked(NodeId a, NodeId b) const {
+  return blocked_links_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+}  // namespace bftbase

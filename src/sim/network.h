@@ -1,0 +1,83 @@
+// Simulated network with fault injection.
+//
+// Point-to-point datagram transport between SimNodes. Charges the cost model
+// for latency and bandwidth, and exposes the adversarial controls the
+// fault-injection experiments need: partitions, per-link drop probability,
+// node isolation (crash), and an interceptor hook that can observe, drop or
+// rewrite messages in flight (a network-level Byzantine adversary).
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/simulation.h"
+#include "src/util/bytes.h"
+
+namespace bftbase {
+
+class Network {
+ public:
+  explicit Network(Simulation* sim) : sim_(sim) {}
+
+  // Sends `payload` from `from` to `to`. Delivery is scheduled after the cost
+  // model's latency unless a fault suppresses it. Self-sends are delivered
+  // with only handling cost (loopback).
+  void Send(NodeId from, NodeId to, Bytes payload);
+
+  // Convenience: sends a copy to every id in [first, last).
+  void Multicast(NodeId from, NodeId first, NodeId last, const Bytes& payload);
+
+  // --- Fault injection -----------------------------------------------------
+
+  // Drops all traffic in both directions between a and b.
+  void BlockLink(NodeId a, NodeId b);
+  void UnblockLink(NodeId a, NodeId b);
+
+  // Drops all traffic to and from `node` (models a crashed / unplugged host).
+  void Isolate(NodeId node);
+  void Heal(NodeId node);
+  bool IsIsolated(NodeId node) const { return isolated_.count(node) > 0; }
+
+  // Uniform drop probability applied to every message (after the checks
+  // above). Deterministic given the simulation seed.
+  void SetDropProbability(double p) { drop_probability_ = p; }
+
+  // Extra random delay in [0, jitter_us] added per message.
+  void SetJitter(SimTime jitter_us) { jitter_us_ = jitter_us; }
+
+  // Interceptor: runs for every message that would be delivered. Returning
+  // false drops the message; the payload may be mutated (Byzantine network).
+  using Interceptor = std::function<bool(NodeId from, NodeId to, Bytes& payload)>;
+  void SetInterceptor(Interceptor fn) { interceptor_ = std::move(fn); }
+
+  // --- Telemetry -----------------------------------------------------------
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  void ResetCounters() {
+    messages_sent_ = 0;
+    messages_dropped_ = 0;
+    bytes_sent_ = 0;
+  }
+
+ private:
+  bool LinkBlocked(NodeId a, NodeId b) const;
+
+  Simulation* sim_;
+  std::set<std::pair<NodeId, NodeId>> blocked_links_;  // stored as (min,max)
+  std::set<NodeId> isolated_;
+  double drop_probability_ = 0.0;
+  SimTime jitter_us_ = 0;
+  Interceptor interceptor_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,140 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+
+#include "src/sim/network.h"
+#include "src/util/log.h"
+
+namespace bftbase {
+
+Simulation::Simulation(uint64_t seed, CostModel cost)
+    : cost_(cost), rng_(seed) {
+  network_ = new Network(this);
+}
+
+Simulation::~Simulation() { delete network_; }
+
+void Simulation::AddNode(NodeId id, SimNode* node) {
+  assert(node != nullptr);
+  nodes_[id] = node;
+}
+
+void Simulation::RemoveNode(NodeId id) { nodes_.erase(id); }
+
+SimNode* Simulation::GetNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+TimerId Simulation::After(NodeId owner, SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  TimerId id = next_timer_id_++;
+  queue_.push(Event{now_ + delay, next_seq_++, owner, std::move(fn), id});
+  return id;
+}
+
+void Simulation::Cancel(TimerId id) { cancelled_[id] = true; }
+
+void Simulation::ChargeCpu(SimTime cpu_cost) {
+  assert(cpu_cost >= 0);
+  handler_cpu_ += cpu_cost;
+}
+
+void Simulation::ScheduleDelivery(SimTime when, NodeId to, NodeId from,
+                                  Bytes payload) {
+  queue_.push(Event{when, next_seq_++, to,
+                    [this, to, from, payload = std::move(payload)]() {
+                      SimNode* node = GetNode(to);
+                      if (node != nullptr) {
+                        node->OnMessage(from, payload);
+                      }
+                    },
+                    0});
+}
+
+void Simulation::RunHandler(const Event& ev) {
+  // Serialize on the owning node's CPU: the handler starts when both the
+  // event time has arrived and the node is free.
+  if (ev.owner != kNoOwner) {
+    auto it = busy_until_.find(ev.owner);
+    if (it != busy_until_.end() && it->second > now_) {
+      // Requeue behind the node's current work.
+      queue_.push(Event{it->second, next_seq_++, ev.owner, ev.fn, ev.timer_id});
+      return;
+    }
+  }
+  handler_cpu_ = 0;
+  ev.fn();
+  if (ev.owner != kNoOwner && handler_cpu_ > 0) {
+    busy_until_[ev.owner] = now_ + handler_cpu_;
+  }
+  handler_cpu_ = 0;
+  ++events_processed_;
+}
+
+void Simulation::PruneCancelledTop() {
+  // Discard cancelled timers sitting at the head of the queue so that
+  // queue_.top() always refers to an event that will actually run. Without
+  // this, deadline checks in RunUntil/RunUntilTrue would look at a cancelled
+  // event's time and Step() could silently run an event far beyond the
+  // caller's deadline.
+  while (!queue_.empty() && queue_.top().timer_id != 0) {
+    auto it = cancelled_.find(queue_.top().timer_id);
+    if (it == cancelled_.end()) {
+      break;
+    }
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulation::Step() {
+  PruneCancelledTop();
+  if (queue_.empty()) {
+    return false;
+  }
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  RunHandler(ev);
+  return true;
+}
+
+void Simulation::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  for (;;) {
+    PruneCancelledTop();
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulation::RunUntilTrue(const std::function<bool()>& pred,
+                              SimTime deadline) {
+  if (pred()) {
+    return true;
+  }
+  for (;;) {
+    PruneCancelledTop();
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
+    Step();
+    if (pred()) {
+      return true;
+    }
+  }
+  return pred();
+}
+
+}  // namespace bftbase

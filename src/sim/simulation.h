@@ -1,0 +1,127 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Replaces the paper's physical testbed. All replicas, clients and the
+// network run inside one Simulation; virtual time advances only when events
+// fire, so a run with a given seed is bit-for-bit reproducible — which is
+// what makes the fault-injection experiments (E7) and the protocol tests
+// meaningful.
+//
+// CPU accounting: each node is a serial processor. While a handler runs it
+// may call ChargeCpu() to account for work (crypto, service execution); the
+// node is then busy until the accumulated finish time, and later events for
+// that node are delayed behind it. Messages sent from within a handler leave
+// the node at its current finish time.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace bftbase {
+
+using NodeId = int;
+using TimerId = uint64_t;
+
+// Anything that can receive messages from the network.
+class SimNode {
+ public:
+  virtual ~SimNode() = default;
+  // Delivery of one network message. `from` is the authenticated link-layer
+  // source (the simulation does not let nodes spoof it; PBFT additionally
+  // authenticates with MACs end-to-end).
+  virtual void OnMessage(NodeId from, const Bytes& payload) = 0;
+};
+
+class Network;
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1, CostModel cost = CostModel());
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  const CostModel& cost() const { return cost_; }
+  Rng& rng() { return rng_; }
+  Network& network() { return *network_; }
+
+  // Registers a node under `id`. The node must outlive the simulation run.
+  void AddNode(NodeId id, SimNode* node);
+  void RemoveNode(NodeId id);
+  SimNode* GetNode(NodeId id) const;
+
+  // Schedules `fn` to run `delay` from now on behalf of node `owner`
+  // (owner's CPU serialization applies; pass kNoOwner for free-running
+  // events such as harness callbacks).
+  static constexpr NodeId kNoOwner = -1;
+  TimerId After(NodeId owner, SimTime delay, std::function<void()> fn);
+  // Cancels a pending timer; no-op if already fired.
+  void Cancel(TimerId id);
+
+  // Accounts CPU work for the node whose handler is currently running.
+  void ChargeCpu(SimTime cost);
+  // CPU time consumed so far by the current handler (including charge).
+  SimTime CurrentHandlerFinishTime() const { return now_ + handler_cpu_; }
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool Step();
+  // Runs events until the queue is empty.
+  void RunUntilIdle();
+  // Runs events with time <= deadline (absolute virtual time).
+  void RunUntil(SimTime deadline);
+  // Runs until `pred()` is true or `deadline` passes. Returns pred().
+  bool RunUntilTrue(const std::function<bool()>& pred, SimTime deadline);
+
+  // Total events processed (telemetry for tests/benches).
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Internal: used by Network to deliver messages with node serialization.
+  void ScheduleDelivery(SimTime when, NodeId to, NodeId from, Bytes payload);
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    NodeId owner;
+    std::function<void()> fn;
+    TimerId timer_id;  // 0 for non-cancellable events
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void RunHandler(const Event& ev);
+  // Pops cancelled timers off the head of the queue.
+  void PruneCancelledTop();
+
+  CostModel cost_;
+  Rng rng_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t next_timer_id_ = 1;
+  uint64_t events_processed_ = 0;
+  SimTime handler_cpu_ = 0;  // CPU charged by the currently running handler
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::map<NodeId, SimNode*> nodes_;
+  std::map<NodeId, SimTime> busy_until_;
+  std::map<TimerId, bool> cancelled_;  // sparse: only timers ever cancelled
+  Network* network_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_SIM_SIMULATION_H_

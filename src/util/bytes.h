@@ -1,0 +1,61 @@
+// Byte-buffer helpers shared across the library.
+//
+// All wire formats in this repository (BFT protocol messages, XDR-encoded
+// abstract objects, NFS requests) are built on top of `Bytes`, a plain
+// std::vector<uint8_t>. Keeping the type alias in one place lets substrates
+// exchange buffers without copies or casts.
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bftbase {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+// Builds a byte vector from a string literal / std::string payload.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Interprets a byte buffer as text. Only meaningful for buffers that were
+// produced from text; used mostly by tests and examples.
+inline std::string ToString(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// Appends `src` to `dst`.
+inline void Append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Constant-time equality, used when comparing MACs so that a Byzantine
+// node cannot learn key material through timing. For same-process simulation
+// this is defensive only, but it mirrors what a deployment must do.
+inline bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+// Renders a buffer as lowercase hex; handy in logs and test failures.
+std::string HexEncode(BytesView b);
+
+// Parses lowercase/uppercase hex back into bytes. Returns an empty vector on
+// malformed input (odd length or non-hex characters).
+Bytes HexDecode(std::string_view hex);
+
+}  // namespace bftbase
+
+#endif  // SRC_UTIL_BYTES_H_

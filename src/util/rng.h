@@ -1,0 +1,77 @@
+// Deterministic seeded random number generator (xoshiro256**).
+//
+// All randomness in the simulation flows through explicitly seeded Rng
+// instances so that every run is reproducible. Never use std::random_device
+// or clock-derived seeds inside the library.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace bftbase {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Derives an independent child generator; used to hand each simulation
+  // component its own stream so that adding randomness in one component does
+  // not perturb another.
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_UTIL_RNG_H_

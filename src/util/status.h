@@ -1,0 +1,125 @@
+// Lightweight Status / Result types.
+//
+// The library is exception-free in steady state (protocol code paths must be
+// able to reject malformed Byzantine input without unwinding), so fallible
+// operations return Status or Result<T> instead of throwing.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bftbase {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad encoding, bad range)
+  kNotFound,          // entity does not exist
+  kAlreadyExists,     // entity exists and the operation requires absence
+  kPermissionDenied,  // authentication / MAC failure
+  kFailedPrecondition,  // operation not legal in the current state
+  kOutOfRange,        // index outside the valid window
+  kUnavailable,       // transient: retry may succeed (e.g. during recovery)
+  kCorruption,        // detected state corruption
+  kInternal,          // invariant violation (a bug if it ever fires)
+};
+
+// Human-readable code name, for logs and test output.
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status NotFound(std::string m) {
+  return Status(StatusCode::kNotFound, std::move(m));
+}
+inline Status AlreadyExists(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status PermissionDenied(std::string m) {
+  return Status(StatusCode::kPermissionDenied, std::move(m));
+}
+inline Status FailedPrecondition(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status OutOfRange(std::string m) {
+  return Status(StatusCode::kOutOfRange, std::move(m));
+}
+inline Status Unavailable(std::string m) {
+  return Status(StatusCode::kUnavailable, std::move(m));
+}
+inline Status Corruption(std::string m) {
+  return Status(StatusCode::kCorruption, std::move(m));
+}
+inline Status Internal(std::string m) {
+  return Status(StatusCode::kInternal, std::move(m));
+}
+
+// Result<T> is a Status plus a value when the status is OK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT: implicit
+  Result(Status status) : status_(std::move(status)) {      // NOLINT: implicit
+    assert(!status_.ok() && "OK result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_UTIL_STATUS_H_

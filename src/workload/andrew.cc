@@ -1,0 +1,166 @@
+#include "src/workload/andrew.h"
+
+#include "src/util/log.h"
+
+namespace bftbase {
+
+namespace {
+
+Bytes GeneratedContent(Rng& rng, size_t size) {
+  Bytes out(size);
+  // Text-like content: cheap to generate, deterministic.
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>('a' + rng.NextBelow(26));
+  }
+  return out;
+}
+
+}  // namespace
+
+const AndrewPhaseResult* AndrewResult::Phase(const std::string& name) const {
+  for (const AndrewPhaseResult& phase : phases) {
+    if (phase.name == name) {
+      return &phase;
+    }
+  }
+  return nullptr;
+}
+
+AndrewResult RunAndrewBenchmark(FsSession& fs, Simulation& sim,
+                                const AndrewConfig& config) {
+  AndrewResult result;
+  Rng rng(config.seed);
+  SimTime bench_start = sim.Now();
+
+  auto fail = [&](const std::string& what, const Status& status) {
+    result.ok = false;
+    result.error = what + ": " + status.ToString();
+    return result;
+  };
+  auto phase_begin = [&] { return sim.Now(); };
+  auto phase_end = [&](const char* name, SimTime start, uint64_t ops) {
+    result.phases.push_back(AndrewPhaseResult{name, sim.Now() - start, ops});
+  };
+
+  auto root = fs.Mkdir(fs.Root(), config.root_name);
+  if (!root.ok()) {
+    return fail("mkdir root", root.status());
+  }
+
+  // --- Phase 1: mkdir -------------------------------------------------------
+  SimTime start = phase_begin();
+  uint64_t ops = 0;
+  std::vector<Oid> dirs;
+  for (int d = 0; d < config.directories; ++d) {
+    auto dir = fs.Mkdir(*root, "dir" + std::to_string(d));
+    if (!dir.ok()) {
+      return fail("phase1 mkdir", dir.status());
+    }
+    dirs.push_back(*dir);
+    ++ops;
+  }
+  phase_end("1-mkdir", start, ops);
+
+  // --- Phase 2: copy --------------------------------------------------------
+  start = phase_begin();
+  ops = 0;
+  std::vector<std::pair<Oid, size_t>> files;  // (oid, size)
+  for (int d = 0; d < config.directories; ++d) {
+    for (int f = 0; f < config.files_per_directory; ++f) {
+      auto file = fs.Create(dirs[d], "src" + std::to_string(f) + ".c");
+      if (!file.ok()) {
+        return fail("phase2 create", file.status());
+      }
+      ++ops;
+      // Client-side work to produce the data being copied.
+      sim.RunUntil(sim.Now() + config.copy_prepare_us_per_file);
+      Bytes content = GeneratedContent(rng, config.file_size);
+      for (size_t off = 0; off < content.size(); off += config.write_chunk) {
+        size_t len = std::min(config.write_chunk, content.size() - off);
+        auto written = fs.Write(
+            *file, off, BytesView(content.data() + off, len));
+        if (!written.ok()) {
+          return fail("phase2 write", written.status());
+        }
+        ++ops;
+      }
+      result.logical_bytes += content.size();
+      files.emplace_back(*file, content.size());
+    }
+  }
+  phase_end("2-copy", start, ops);
+
+  // --- Phase 3: scan (stat every object) ------------------------------------
+  start = phase_begin();
+  ops = 0;
+  for (int d = 0; d < config.directories; ++d) {
+    auto listing = fs.Readdir(dirs[d]);
+    if (!listing.ok()) {
+      return fail("phase3 readdir", listing.status());
+    }
+    ++ops;
+    for (const auto& [name, oid] : *listing) {
+      auto attr = fs.GetAttr(oid);
+      if (!attr.ok()) {
+        return fail("phase3 getattr", attr.status());
+      }
+      ++ops;
+    }
+  }
+  phase_end("3-scan", start, ops);
+
+  // --- Phase 4: read every file ----------------------------------------------
+  start = phase_begin();
+  ops = 0;
+  for (const auto& [oid, size] : files) {
+    for (size_t off = 0; off < size; off += config.write_chunk) {
+      auto data = fs.Read(oid, off,
+                          static_cast<uint32_t>(config.write_chunk));
+      if (!data.ok()) {
+        return fail("phase4 read", data.status());
+      }
+      ++ops;
+    }
+  }
+  phase_end("4-read", start, ops);
+
+  // --- Phase 5: make (compile-like read + write) ------------------------------
+  start = phase_begin();
+  ops = 0;
+  for (int d = 0; d < config.directories; ++d) {
+    for (int f = 0; f < config.files_per_directory; ++f) {
+      Oid src = files[static_cast<size_t>(d) * config.files_per_directory + f]
+                    .first;
+      auto data = fs.Read(src, 0, static_cast<uint32_t>(config.file_size));
+      if (!data.ok()) {
+        return fail("phase5 read", data.status());
+      }
+      ++ops;
+      // The compiler runs on the client; this dominates the make phase on
+      // the real benchmark.
+      sim.RunUntil(sim.Now() + config.compile_us_per_file);
+      auto obj = fs.Create(dirs[d], "obj" + std::to_string(f) + ".o");
+      if (!obj.ok()) {
+        return fail("phase5 create", obj.status());
+      }
+      ++ops;
+      // "Object code" is roughly half the source size.
+      size_t out_size = data->size() / 2;
+      auto written = fs.Write(*obj, 0, BytesView(data->data(), out_size));
+      if (!written.ok()) {
+        return fail("phase5 write", written.status());
+      }
+      ++ops;
+    }
+  }
+  phase_end("5-make", start, ops);
+
+  result.ok = true;
+  result.total_us = sim.Now() - bench_start;
+  for (const AndrewPhaseResult& phase : result.phases) {
+    result.total_operations += phase.operations;
+  }
+  return result;
+}
+
+}  // namespace bftbase

@@ -1,0 +1,65 @@
+// Andrew-benchmark-style workload (Howard et al. [8], as used in the
+// paper's evaluation §4 in its "scaled-up" form).
+//
+// Five phases over any FsSession (replicated or plain baseline):
+//   1. mkdir  — create the directory tree
+//   2. copy   — create and write every source file
+//   3. scan   — readdir + getattr over the whole tree (stat pass)
+//   4. read   — read every file's contents
+//   5. make   — compile-like pass: read every source, write an output file
+//
+// File contents are generated deterministically from the seed so replicated
+// and baseline runs do identical work. The scale knobs reproduce the
+// paper's "generates 1 GB of data" configuration when multiplied up.
+#ifndef SRC_WORKLOAD_ANDREW_H_
+#define SRC_WORKLOAD_ANDREW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/basefs/fs_session.h"
+#include "src/util/rng.h"
+
+namespace bftbase {
+
+struct AndrewConfig {
+  int directories = 8;
+  int files_per_directory = 6;
+  size_t file_size = 4096;   // bytes per source file
+  size_t write_chunk = 4096; // bytes per WRITE call
+  uint64_t seed = 1;
+  // Client-side compute charged to the virtual clock, mirroring the real
+  // Andrew benchmark where the client process does actual work between file
+  // operations (the make phase runs a compiler). These costs are identical
+  // for baseline and replicated runs, exactly as on a real client machine.
+  SimTime compile_us_per_file = 8000;  // phase 5: compile one source file (conservative
+                                       // vs ~100ms real cc on 450MHz hardware)
+  SimTime copy_prepare_us_per_file = 300;  // phase 2: source-side read/copy
+  // Name of the benchmark root directory (created under the session root).
+  std::string root_name = "andrew";
+};
+
+struct AndrewPhaseResult {
+  std::string name;
+  SimTime elapsed_us = 0;
+  uint64_t operations = 0;
+};
+
+struct AndrewResult {
+  bool ok = false;
+  std::string error;
+  std::vector<AndrewPhaseResult> phases;
+  SimTime total_us = 0;
+  uint64_t total_operations = 0;
+  uint64_t logical_bytes = 0;  // data written in the copy phase
+
+  const AndrewPhaseResult* Phase(const std::string& name) const;
+};
+
+// Runs the benchmark; virtual time is measured with `sim`'s clock.
+AndrewResult RunAndrewBenchmark(FsSession& fs, Simulation& sim,
+                                const AndrewConfig& config);
+
+}  // namespace bftbase
+
+#endif  // SRC_WORKLOAD_ANDREW_H_

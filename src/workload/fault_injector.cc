@@ -1,0 +1,159 @@
+#include "src/workload/fault_injector.h"
+
+#include <map>
+
+#include "src/basefs/conformance_wrapper.h"
+#include "src/util/log.h"
+#include "src/util/rng.h"
+
+namespace bftbase {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashRestart:
+      return "crash+restart";
+    case FaultKind::kCorruptState:
+      return "state-corruption";
+    case FaultKind::kByzantineReplies:
+      return "byzantine-replies";
+    case FaultKind::kDaemonRestart:
+      return "daemon-restart";
+    case FaultKind::kProactiveRecovery:
+      return "proactive-recovery";
+  }
+  return "unknown";
+}
+
+FaultScenarioResult RunFaultScenario(ServiceGroup& group, FsSession& fs,
+                                     const FaultScenarioConfig& config) {
+  FaultScenarioResult result;
+  Simulation& sim = group.sim();
+  Rng rng(config.seed);
+  SimTime start = sim.Now();
+
+  uint64_t view_changes_before = 0;
+  uint64_t recoveries_before = 0;
+  for (int r = 0; r < group.replica_count(); ++r) {
+    view_changes_before += group.replica(r).view_changes_started();
+    recoveries_before += group.replica(r).recoveries_completed();
+  }
+
+  // Arm the fault schedule.
+  for (const FaultEvent& event : config.schedule) {
+    sim.After(Simulation::kNoOwner, event.at, [&group, &sim, event] {
+      LOG_INFO << "fault injector: " << FaultKindName(event.kind)
+               << " at replica " << event.replica;
+      switch (event.kind) {
+        case FaultKind::kCrashRestart:
+          sim.network().Isolate(event.replica);
+          sim.After(Simulation::kNoOwner, event.duration,
+                    [&sim, r = event.replica] { sim.network().Heal(r); });
+          break;
+        case FaultKind::kCorruptState: {
+          auto* wrapper = dynamic_cast<FsConformanceWrapper*>(
+              group.adapter(event.replica));
+          if (wrapper != nullptr) {
+            wrapper->CorruptConcreteObject();
+          }
+          break;
+        }
+        case FaultKind::kByzantineReplies:
+          group.replica(event.replica).SetCorruptReplies(true);
+          sim.After(Simulation::kNoOwner, event.duration,
+                    [&group, r = event.replica] {
+                      group.replica(r).SetCorruptReplies(false);
+                    });
+          break;
+        case FaultKind::kDaemonRestart: {
+          auto* wrapper = dynamic_cast<FsConformanceWrapper*>(
+              group.adapter(event.replica));
+          if (wrapper != nullptr) {
+            wrapper->RestartWrappedDaemon();
+          }
+          break;
+        }
+        case FaultKind::kProactiveRecovery:
+          group.replica(event.replica).StartProactiveRecovery();
+          break;
+      }
+    });
+  }
+
+  // Foreground load with an oracle.
+  auto dir = fs.Mkdir(fs.Root(), "faultload");
+  if (!dir.ok()) {
+    return result;
+  }
+  constexpr int kFiles = 8;
+  std::vector<Oid> files;
+  std::map<int, Bytes> oracle;
+  for (int i = 0; i < kFiles; ++i) {
+    auto f = fs.Create(*dir, "f" + std::to_string(i));
+    if (!f.ok()) {
+      return result;
+    }
+    files.push_back(*f);
+    oracle[i] = Bytes();
+  }
+
+  SimTime total_latency = 0;
+  for (int op = 0; op < config.operations; ++op) {
+    int file = static_cast<int>(rng.NextBelow(kFiles));
+    bool write = rng.NextBool(0.5);
+    ++result.attempted;
+    SimTime op_start = sim.Now();
+    if (write) {
+      Bytes value = ToBytes("v" + std::to_string(op));
+      auto written = fs.Write(files[file], 0, value);
+      if (written.ok()) {
+        ++result.succeeded;
+        // Emulate truncate-to-content semantics for the oracle.
+        Bytes& cur = oracle[file];
+        if (cur.size() < value.size()) {
+          cur.resize(value.size());
+        }
+        std::copy(value.begin(), value.end(), cur.begin());
+      }
+    } else {
+      auto data = fs.Read(files[file], 0, 4096);
+      if (data.ok()) {
+        ++result.succeeded;
+        if (*data != oracle[file]) {
+          result.wrong_result_observed = true;
+          LOG_ERROR << "fault scenario: WRONG read result for file " << file;
+        }
+      }
+    }
+    SimTime latency = sim.Now() - op_start;
+    total_latency += latency;
+    result.max_latency_us = std::max(result.max_latency_us, latency);
+    sim.RunUntil(sim.Now() + config.op_gap);
+  }
+  if (result.attempted > 0) {
+    result.mean_latency_us = total_latency / result.attempted;
+  }
+
+  // Let in-flight recoveries finish so their effects are visible in the
+  // scenario result.
+  sim.RunUntilTrue(
+      [&] {
+        for (int r = 0; r < group.replica_count(); ++r) {
+          if (group.replica(r).recovering()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim.Now() + 300 * kSecond);
+
+  for (int r = 0; r < group.replica_count(); ++r) {
+    result.view_changes += group.replica(r).view_changes_started();
+    result.recoveries += group.replica(r).recoveries_completed();
+  }
+  result.view_changes -= view_changes_before;
+  result.recoveries -= recoveries_before;
+  (void)start;
+  return result;
+}
+
+}  // namespace bftbase

@@ -1,0 +1,105 @@
+#include "src/workload/micro_ops.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace bftbase {
+
+namespace {
+
+MicroOpStats Measure(const std::string& name, Simulation& sim, int iterations,
+                     const std::function<bool()>& op, bool* failed) {
+  MicroOpStats stats;
+  stats.name = name;
+  stats.iterations = iterations;
+  std::vector<SimTime> samples;
+  samples.reserve(iterations);
+  for (int i = 0; i < iterations; ++i) {
+    SimTime start = sim.Now();
+    if (!op()) {
+      *failed = true;
+      return stats;
+    }
+    samples.push_back(sim.Now() - start);
+  }
+  std::sort(samples.begin(), samples.end());
+  SimTime total = 0;
+  for (SimTime s : samples) {
+    total += s;
+  }
+  stats.mean_us = total / static_cast<SimTime>(samples.size());
+  stats.min_us = samples.front();
+  stats.max_us = samples.back();
+  stats.p99_us = samples[std::min(samples.size() - 1,
+                                  samples.size() * 99 / 100)];
+  return stats;
+}
+
+}  // namespace
+
+const MicroOpStats* MicroOpsResult::Op(const std::string& name) const {
+  for (const MicroOpStats& op : ops) {
+    if (op.name == name) {
+      return &op;
+    }
+  }
+  return nullptr;
+}
+
+MicroOpsResult RunMicroOps(FsSession& fs, Simulation& sim, int iterations) {
+  MicroOpsResult result;
+
+  // Fixtures.
+  auto dir = fs.Mkdir(fs.Root(), "micro");
+  if (!dir.ok()) {
+    result.error = "setup mkdir failed";
+    return result;
+  }
+  auto small = fs.Create(*dir, "empty");
+  auto big = fs.Create(*dir, "big");
+  if (!small.ok() || !big.ok()) {
+    result.error = "setup create failed";
+    return result;
+  }
+  Bytes four_k(4096, 0x61);
+  if (!fs.Write(*big, 0, four_k).ok()) {
+    result.error = "setup write failed";
+    return result;
+  }
+
+  bool failed = false;
+  auto add = [&](const std::string& name, const std::function<bool()>& op) {
+    if (!failed) {
+      result.ops.push_back(Measure(name, sim, iterations, op, &failed));
+      if (failed) {
+        result.error = "operation failed: " + name;
+      }
+    }
+  };
+
+  add("null", [&] {
+    NfsCall call;
+    call.proc = NfsProc::kNull;
+    auto r = fs.Call(call);
+    return r.ok() && r->stat == NfsStat::kOk;
+  });
+  add("getattr", [&] { return fs.GetAttr(*big).ok(); });
+  add("lookup", [&] { return fs.Lookup(*dir, "big").ok(); });
+  add("read-0", [&] { return fs.Read(*small, 0, 0).ok(); });
+  add("read-4k", [&] { return fs.Read(*big, 0, 4096).ok(); });
+  add("write-4k", [&] { return fs.Write(*big, 0, four_k).ok(); });
+  add("readdir", [&] { return fs.Readdir(*dir).ok(); });
+  int counter = 0;
+  add("create+remove", [&] {
+    std::string name = "tmp" + std::to_string(counter++);
+    if (!fs.Create(*dir, name).ok()) {
+      return false;
+    }
+    return fs.Remove(*dir, name).ok();
+  });
+
+  result.ok = !failed;
+  return result;
+}
+
+}  // namespace bftbase

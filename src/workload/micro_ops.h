@@ -1,0 +1,38 @@
+// NFS micro-operation latency measurements (experiment E3).
+//
+// Measures per-operation virtual-time latency for the operation classes the
+// BFT literature reports (null, getattr, lookup, read 0 / read 4K, write 4K,
+// create+remove pairs), against any FsSession.
+#ifndef SRC_WORKLOAD_MICRO_OPS_H_
+#define SRC_WORKLOAD_MICRO_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/basefs/fs_session.h"
+
+namespace bftbase {
+
+struct MicroOpStats {
+  std::string name;
+  int iterations = 0;
+  SimTime mean_us = 0;
+  SimTime min_us = 0;
+  SimTime max_us = 0;
+  SimTime p99_us = 0;
+};
+
+struct MicroOpsResult {
+  bool ok = false;
+  std::string error;
+  std::vector<MicroOpStats> ops;
+
+  const MicroOpStats* Op(const std::string& name) const;
+};
+
+// Runs the micro-op suite. `iterations` per operation class.
+MicroOpsResult RunMicroOps(FsSession& fs, Simulation& sim, int iterations);
+
+}  // namespace bftbase
+
+#endif  // SRC_WORKLOAD_MICRO_OPS_H_

@@ -1,0 +1,227 @@
+// Unit tests for the common abstract specification: oid arithmetic, the
+// XDR wire encoding of every NFS procedure, and abstract object encoding.
+#include <gtest/gtest.h>
+
+#include "src/basefs/abstract_spec.h"
+#include "src/util/xdr.h"
+
+namespace bftbase {
+namespace {
+
+TEST(AbstractSpec, OidPacksIndexAndGeneration) {
+  Oid oid = MakeOid(1234, 77);
+  EXPECT_EQ(OidIndex(oid), 1234u);
+  EXPECT_EQ(OidGeneration(oid), 77u);
+  EXPECT_EQ(OidIndex(kRootOid), 0u);
+  EXPECT_EQ(OidGeneration(kRootOid), 1u);
+}
+
+TEST(AbstractSpec, ReadOnlyClassification) {
+  EXPECT_TRUE(IsReadOnlyProc(NfsProc::kGetAttr));
+  EXPECT_TRUE(IsReadOnlyProc(NfsProc::kLookup));
+  EXPECT_TRUE(IsReadOnlyProc(NfsProc::kRead));
+  EXPECT_TRUE(IsReadOnlyProc(NfsProc::kReaddir));
+  EXPECT_TRUE(IsReadOnlyProc(NfsProc::kStatfs));
+  EXPECT_FALSE(IsReadOnlyProc(NfsProc::kWrite));
+  EXPECT_FALSE(IsReadOnlyProc(NfsProc::kCreate));
+  EXPECT_FALSE(IsReadOnlyProc(NfsProc::kRename));
+  EXPECT_FALSE(IsReadOnlyProc(NfsProc::kSetAttr));
+}
+
+NfsCall RoundTrip(const NfsCall& call) {
+  auto decoded = NfsCall::Decode(call.Encode());
+  EXPECT_TRUE(decoded.ok());
+  return *decoded;
+}
+
+TEST(AbstractSpec, CallEncodingsRoundTrip) {
+  {
+    NfsCall call;
+    call.proc = NfsProc::kLookup;
+    call.oid = MakeOid(5, 2);
+    call.name = "hello.txt";
+    NfsCall out = RoundTrip(call);
+    EXPECT_EQ(out.proc, NfsProc::kLookup);
+    EXPECT_EQ(out.oid, call.oid);
+    EXPECT_EQ(out.name, "hello.txt");
+  }
+  {
+    NfsCall call;
+    call.proc = NfsProc::kWrite;
+    call.oid = MakeOid(9, 1);
+    call.offset = 8192;
+    call.data = ToBytes("data!");
+    NfsCall out = RoundTrip(call);
+    EXPECT_EQ(out.offset, 8192u);
+    EXPECT_EQ(ToString(out.data), "data!");
+  }
+  {
+    NfsCall call;
+    call.proc = NfsProc::kRename;
+    call.oid = MakeOid(1, 1);
+    call.name = "from";
+    call.oid2 = MakeOid(2, 3);
+    call.name2 = "to";
+    NfsCall out = RoundTrip(call);
+    EXPECT_EQ(out.oid2, call.oid2);
+    EXPECT_EQ(out.name2, "to");
+  }
+  {
+    NfsCall call;
+    call.proc = NfsProc::kSymlink;
+    call.oid = kRootOid;
+    call.name = "link";
+    call.target = "a/b/c";
+    call.attrs.mode = 0777;
+    NfsCall out = RoundTrip(call);
+    EXPECT_EQ(out.target, "a/b/c");
+    EXPECT_EQ(out.attrs.mode, 0777u);
+  }
+  {
+    NfsCall call;
+    call.proc = NfsProc::kSetAttr;
+    call.oid = kRootOid;
+    call.attrs.size = 42;
+    NfsCall out = RoundTrip(call);
+    EXPECT_EQ(out.attrs.size, 42u);
+    EXPECT_EQ(out.attrs.mode, SetAttrs::kKeep32);
+  }
+}
+
+TEST(AbstractSpec, CallDecodeRejectsGarbage) {
+  EXPECT_FALSE(NfsCall::Decode(Bytes()).ok());
+  EXPECT_FALSE(NfsCall::Decode(ToBytes("garbage!")).ok());
+  // Unknown procedure number.
+  XdrWriter w;
+  w.PutUint32(99);
+  EXPECT_FALSE(NfsCall::Decode(w.data()).ok());
+  // Trailing bytes.
+  NfsCall call;
+  call.proc = NfsProc::kGetAttr;
+  Bytes wire = call.Encode();
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_FALSE(NfsCall::Decode(wire).ok());
+}
+
+TEST(AbstractSpec, ReplyEncodingsRoundTrip) {
+  {
+    NfsReply reply;
+    reply.stat = NfsStat::kOk;
+    reply.oid = MakeOid(7, 4);
+    reply.attr.type = FileType::kRegular;
+    reply.attr.size = 100;
+    reply.attr.mtime_us = 123456;
+    auto out = NfsReply::Decode(NfsProc::kLookup,
+                                reply.Encode(NfsProc::kLookup));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->oid, reply.oid);
+    EXPECT_EQ(out->attr.size, 100u);
+    EXPECT_EQ(out->attr.mtime_us, 123456);
+  }
+  {
+    NfsReply reply;
+    reply.stat = NfsStat::kOk;
+    reply.entries = {{"a", MakeOid(1, 1)}, {"b", MakeOid(2, 1)}};
+    auto out = NfsReply::Decode(NfsProc::kReaddir,
+                                reply.Encode(NfsProc::kReaddir));
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->entries.size(), 2u);
+    EXPECT_EQ(out->entries[1].first, "b");
+  }
+  {
+    // Errors carry only the status.
+    NfsReply reply;
+    reply.stat = NfsStat::kNoEnt;
+    Bytes wire = reply.Encode(NfsProc::kLookup);
+    EXPECT_EQ(wire.size(), 4u);
+    auto out = NfsReply::Decode(NfsProc::kLookup, wire);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->stat, NfsStat::kNoEnt);
+  }
+}
+
+TEST(AbstractSpec, AbstractObjectRoundTrips) {
+  {
+    AbstractFsObject free_entry;
+    free_entry.generation = 9;
+    auto out = AbstractFsObject::Decode(free_entry.Encode());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->generation, 9u);
+    EXPECT_EQ(out->type, FileType::kNone);
+  }
+  {
+    AbstractFsObject file;
+    file.generation = 2;
+    file.type = FileType::kRegular;
+    file.mode = 0644;
+    file.uid = 10;
+    file.mtime_us = 111;
+    file.ctime_us = 222;
+    file.file_data = ToBytes("contents");
+    auto out = AbstractFsObject::Decode(file.Encode());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(ToString(out->file_data), "contents");
+    EXPECT_EQ(out->mtime_us, 111);
+  }
+  {
+    AbstractFsObject dir;
+    dir.generation = 1;
+    dir.type = FileType::kDirectory;
+    dir.dir_entries = {{"alpha", MakeOid(3, 1)}, {"beta", MakeOid(4, 2)}};
+    auto out = AbstractFsObject::Decode(dir.Encode());
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->dir_entries.size(), 2u);
+    EXPECT_EQ(out->dir_entries[0].first, "alpha");
+    EXPECT_EQ(out->dir_entries[1].second, MakeOid(4, 2));
+  }
+  {
+    AbstractFsObject link;
+    link.generation = 3;
+    link.type = FileType::kSymlink;
+    link.symlink_target = "over/there";
+    auto out = AbstractFsObject::Decode(link.Encode());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->symlink_target, "over/there");
+  }
+}
+
+TEST(AbstractSpec, EncodingIsCanonical) {
+  // Two objects with the same logical content encode identically — the
+  // property checkpoint digests depend on.
+  AbstractFsObject a;
+  a.generation = 1;
+  a.type = FileType::kDirectory;
+  a.dir_entries = {{"x", MakeOid(1, 1)}, {"y", MakeOid(2, 1)}};
+  AbstractFsObject b = a;
+  EXPECT_EQ(HexEncode(a.Encode()), HexEncode(b.Encode()));
+}
+
+TEST(AbstractSpec, DerivedAttrIsSpecDefined) {
+  AbstractFsObject dir;
+  dir.generation = 5;
+  dir.type = FileType::kDirectory;
+  dir.mode = 0750;
+  dir.mtime_us = 999;
+  dir.dir_entries = {{"a", MakeOid(1, 1)}, {"b", MakeOid(2, 1)},
+                     {"c", MakeOid(3, 1)}};
+  Fattr attr = dir.DerivedAttr(MakeOid(8, 5));
+  EXPECT_EQ(attr.size, 3u * 64u);       // spec-defined, not vendor bytes
+  EXPECT_EQ(attr.nlink, 2u);            // spec constant for directories
+  EXPECT_EQ(attr.fileid, MakeOid(8, 5));
+  EXPECT_EQ(attr.fsid, kAbstractFsid);
+  EXPECT_EQ(attr.atime_us, 999);        // noatime: atime == mtime
+}
+
+TEST(AbstractSpec, AbstractObjectDecodeRejectsGarbage) {
+  EXPECT_FALSE(AbstractFsObject::Decode(ToBytes("xx")).ok());
+  XdrWriter w;
+  w.PutUint32(1);
+  w.PutUint32(77);  // bogus type
+  EXPECT_FALSE(AbstractFsObject::Decode(w.data()).ok());
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,161 @@
+// Unit tests for the copy-on-write checkpoint manager.
+#include <gtest/gtest.h>
+
+#include "src/base/checkpoint_manager.h"
+#include "src/base/kv_adapter.h"
+
+namespace bftbase {
+namespace {
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  CheckpointManagerTest()
+      : sim_(1), adapter_(&sim_, kSlots), cm_(&sim_, &adapter_, false) {
+    adapter_.SetModifyFn([this](size_t i) { cm_.OnModify(i); });
+  }
+
+  void Set(uint32_t slot, const std::string& value) {
+    adapter_.Execute(KvAdapter::EncodeSet(slot, ToBytes(value)), 100, Bytes(),
+                     false);
+  }
+
+  static constexpr size_t kSlots = 64;
+  Simulation sim_;
+  KvAdapter adapter_;
+  CheckpointManager cm_;
+};
+
+TEST_F(CheckpointManagerTest, InitialStateIsCheckpointZero) {
+  EXPECT_EQ(cm_.latest_seq(), 0u);
+  EXPECT_EQ(cm_.LeafCount(), kSlots + 1);  // +1 protocol leaf
+  EXPECT_FALSE(cm_.latest_root().IsZero());
+}
+
+TEST_F(CheckpointManagerTest, RootChangesOnlyWhenStateChanges) {
+  Digest root0 = cm_.latest_root();
+  Set(3, "value");
+  Digest root1 = cm_.TakeCheckpoint(10, Bytes());
+  EXPECT_NE(root0, root1);
+  // A checkpoint with no modifications keeps the same tree content but is a
+  // distinct checkpoint (root covers only state, so it stays equal).
+  Digest root2 = cm_.TakeCheckpoint(20, Bytes());
+  EXPECT_EQ(root1, root2);
+}
+
+TEST_F(CheckpointManagerTest, IdenticalHistoriesIdenticalRoots) {
+  Simulation sim2(2);
+  KvAdapter adapter2(&sim2, kSlots);
+  CheckpointManager cm2(&sim2, &adapter2, false);
+  adapter2.SetModifyFn([&](size_t i) { cm2.OnModify(i); });
+
+  Set(1, "a");
+  Set(2, "b");
+  adapter2.Execute(KvAdapter::EncodeSet(1, ToBytes("a")), 5, Bytes(), false);
+  adapter2.Execute(KvAdapter::EncodeSet(2, ToBytes("b")), 5, Bytes(), false);
+
+  EXPECT_EQ(cm_.TakeCheckpoint(10, ToBytes("ps")),
+            cm2.TakeCheckpoint(10, ToBytes("ps")));
+}
+
+TEST_F(CheckpointManagerTest, ProtocolStateAffectsRoot) {
+  Digest with_a = cm_.TakeCheckpoint(10, ToBytes("reply-cache-a"));
+  Digest with_b = cm_.TakeCheckpoint(20, ToBytes("reply-cache-b"));
+  EXPECT_NE(with_a, with_b);
+  EXPECT_EQ(ToString(cm_.LeafValue(0)), "reply-cache-b");
+}
+
+TEST_F(CheckpointManagerTest, CowPreservesCheckpointValue) {
+  Set(7, "old");
+  cm_.TakeCheckpoint(10, Bytes());
+  uint64_t copies_before = cm_.cow_copies_taken();
+
+  Set(7, "new");  // first modification after the checkpoint -> COW copy
+  EXPECT_EQ(cm_.cow_copies_taken(), copies_before + 1);
+  Set(7, "newer");  // second modification -> no extra copy
+  EXPECT_EQ(cm_.cow_copies_taken(), copies_before + 1);
+
+  // The served (checkpoint) value is still the old one; the adapter holds
+  // the new one.
+  size_t leaf = CheckpointManager::LeafForObject(7);
+  EXPECT_EQ(ToString(cm_.LeafValue(leaf)), "old");
+  EXPECT_EQ(ToString(adapter_.GetObj(7)), "newer");
+
+  // After the next checkpoint the served value catches up.
+  cm_.TakeCheckpoint(20, Bytes());
+  EXPECT_EQ(ToString(cm_.LeafValue(leaf)), "newer");
+}
+
+TEST_F(CheckpointManagerTest, CurrentLeafDigestTracksLiveState) {
+  Set(9, "v1");
+  cm_.TakeCheckpoint(10, Bytes());
+  size_t leaf = CheckpointManager::LeafForObject(9);
+  Digest at_checkpoint = cm_.LeafDigest(leaf);
+  EXPECT_EQ(cm_.CurrentLeafDigest(leaf), at_checkpoint);
+
+  Set(9, "v2");
+  EXPECT_EQ(cm_.LeafDigest(leaf), at_checkpoint);        // served view
+  EXPECT_NE(cm_.CurrentLeafDigest(leaf), at_checkpoint);  // live view
+  EXPECT_TRUE(cm_.HasDirtyInRange(leaf, leaf + 1));
+  EXPECT_FALSE(cm_.HasDirtyInRange(leaf + 1, leaf + 5));
+}
+
+TEST_F(CheckpointManagerTest, DiscardKeepsLatest) {
+  Set(1, "a");
+  cm_.TakeCheckpoint(10, Bytes());
+  Set(1, "b");
+  cm_.TakeCheckpoint(20, Bytes());
+  cm_.DiscardBefore(20);
+  EXPECT_EQ(cm_.RetainedCheckpoints(), 1u);
+  EXPECT_EQ(cm_.latest_seq(), 20u);
+  size_t leaf = CheckpointManager::LeafForObject(1);
+  EXPECT_EQ(ToString(cm_.LeafValue(leaf)), "b");
+}
+
+TEST_F(CheckpointManagerTest, InstallFetchedStateReplacesEverything) {
+  Set(5, "mine");
+  cm_.TakeCheckpoint(10, Bytes());
+
+  // Build the "remote" state: another manager with different content.
+  Simulation sim2(3);
+  KvAdapter adapter2(&sim2, kSlots);
+  CheckpointManager cm2(&sim2, &adapter2, false);
+  adapter2.SetModifyFn([&](size_t i) { cm2.OnModify(i); });
+  adapter2.Execute(KvAdapter::EncodeSet(5, ToBytes("theirs")), 5, Bytes(),
+                   false);
+  adapter2.Execute(KvAdapter::EncodeSet(6, ToBytes("extra")), 5, Bytes(),
+                   false);
+  Digest remote_root = cm2.TakeCheckpoint(30, ToBytes("remote-ps"));
+
+  // Figure out which leaves differ and install them.
+  std::vector<ObjectUpdate> updates;
+  for (size_t leaf = 0; leaf < cm2.LeafCount(); ++leaf) {
+    if (cm_.CurrentLeafDigest(leaf) != cm2.LeafDigest(leaf)) {
+      updates.push_back(ObjectUpdate{leaf, cm2.LeafValue(leaf)});
+    }
+  }
+  EXPECT_EQ(updates.size(), 3u);  // slots 5, 6 and the protocol leaf
+  Bytes protocol = cm_.InstallFetchedState(30, remote_root, cm2.LeafCount(),
+                                           updates);
+  EXPECT_EQ(ToString(protocol), "remote-ps");
+  EXPECT_EQ(cm_.latest_root(), remote_root);
+  EXPECT_EQ(cm_.latest_seq(), 30u);
+  EXPECT_EQ(ToString(adapter_.GetObj(5)), "theirs");
+  EXPECT_EQ(ToString(adapter_.GetObj(6)), "extra");
+}
+
+TEST_F(CheckpointManagerTest, FullCopyModeSnapshotsEverything) {
+  Simulation sim2(4);
+  KvAdapter adapter2(&sim2, kSlots);
+  CheckpointManager full(&sim2, &adapter2, /*full_copy_checkpoints=*/true);
+  adapter2.SetModifyFn([&](size_t i) { full.OnModify(i); });
+  adapter2.Execute(KvAdapter::EncodeSet(1, ToBytes("x")), 5, Bytes(), false);
+  full.TakeCheckpoint(10, Bytes());
+  // Full-copy holds all leaves, so snapshot bytes >= the one value written.
+  EXPECT_GE(full.CowBytes(), 1u);
+  // And the roots agree with the COW manager given the same state.
+  Set(1, "x");
+  EXPECT_EQ(cm_.TakeCheckpoint(10, Bytes()), full.latest_root());
+}
+
+}  // namespace
+}  // namespace bftbase

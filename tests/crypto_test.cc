@@ -1,0 +1,172 @@
+// Unit tests for the crypto substrate: SHA-256 against FIPS/NIST vectors,
+// HMAC-SHA256 against RFC 4231 vectors, key table and authenticators.
+#include <gtest/gtest.h>
+
+#include "src/crypto/digest.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+
+namespace bftbase {
+namespace {
+
+std::string HashHex(BytesView data) {
+  auto digest = Sha256::Hash(data);
+  return HexEncode(BytesView(digest.data(), digest.size()));
+}
+
+TEST(Sha256, NistVectors) {
+  // FIPS 180-4 / NIST CAVS known-answer tests.
+  EXPECT_EQ(HashHex(ToBytes("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(HashHex(ToBytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      HashHex(ToBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  uint8_t out[Sha256::kDigestSize];
+  hasher.Final(out);
+  EXPECT_EQ(HexEncode(BytesView(out, sizeof(out))),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(static_cast<uint8_t>(i * 131));
+  }
+  auto one_shot = Sha256::Hash(data);
+  // Feed in awkward chunk sizes that straddle block boundaries.
+  Sha256 hasher;
+  size_t pos = 0;
+  size_t sizes[] = {1, 63, 64, 65, 127, 128, 200, 352};
+  for (size_t size : sizes) {
+    size_t take = std::min(size, data.size() - pos);
+    hasher.Update(BytesView(data.data() + pos, take));
+    pos += take;
+  }
+  hasher.Update(BytesView(data.data() + pos, data.size() - pos));
+  uint8_t streamed[Sha256::kDigestSize];
+  hasher.Final(streamed);
+  EXPECT_EQ(HexEncode(BytesView(streamed, sizeof(streamed))),
+            HexEncode(BytesView(one_shot.data(), one_shot.size())));
+}
+
+TEST(HmacSha256, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  Bytes key(20, 0x0b);
+  auto mac1 = HmacSha256(key, ToBytes("Hi There"));
+  EXPECT_EQ(HexEncode(BytesView(mac1.data(), mac1.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // RFC 4231 test case 2 ("Jefe").
+  auto mac2 = HmacSha256(ToBytes("Jefe"),
+                         ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(HexEncode(BytesView(mac2.data(), mac2.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+  Bytes key3(20, 0xaa);
+  Bytes data3(50, 0xdd);
+  auto mac3 = HmacSha256(key3, data3);
+  EXPECT_EQ(HexEncode(BytesView(mac3.data(), mac3.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  Bytes key(131, 0xaa);
+  auto mac = HmacSha256(
+      key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(HexEncode(BytesView(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Digest, EqualityAndOrdering) {
+  Digest a = Digest::Of(ToBytes("a"));
+  Digest b = Digest::Of(ToBytes("b"));
+  Digest a2 = Digest::Of(ToBytes("a"));
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a.IsZero());
+  EXPECT_TRUE(Digest().IsZero());
+}
+
+TEST(Digest, BuilderIsOrderSensitive) {
+  Digest ab = Digest::Builder().Add(ToBytes("a")).Add(ToBytes("b")).Build();
+  Digest ba = Digest::Builder().Add(ToBytes("b")).Add(ToBytes("a")).Build();
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Digest, FromBytesRejectsWrongSize) {
+  EXPECT_TRUE(Digest::FromBytes(ToBytes("short")).IsZero());
+  Digest d = Digest::Of(ToBytes("x"));
+  EXPECT_EQ(Digest::FromBytes(d.ToBytes()), d);
+}
+
+TEST(KeyTable, SessionKeysAreSymmetric) {
+  KeyTable keys(0x1234, 8);
+  EXPECT_EQ(HexEncode(keys.SessionKey(2, 5)), HexEncode(keys.SessionKey(5, 2)));
+  EXPECT_NE(HexEncode(keys.SessionKey(2, 5)), HexEncode(keys.SessionKey(2, 6)));
+}
+
+TEST(KeyTable, RefreshRotatesKeysForNode) {
+  KeyTable keys(0x1234, 8);
+  Bytes before = keys.SessionKey(1, 3);
+  Bytes other_before = keys.SessionKey(2, 4);
+  keys.RefreshKeysFor(3);
+  EXPECT_NE(HexEncode(before), HexEncode(keys.SessionKey(1, 3)));
+  // Keys not involving node 3 are unchanged.
+  EXPECT_EQ(HexEncode(other_before), HexEncode(keys.SessionKey(2, 4)));
+}
+
+TEST(KeyTable, SigningKeysSurviveRefresh) {
+  KeyTable keys(0x77, 4);
+  Bytes before = keys.SigningKey(2);
+  keys.RefreshKeysFor(2);
+  EXPECT_EQ(HexEncode(before), HexEncode(keys.SigningKey(2)));
+  EXPECT_NE(HexEncode(keys.SigningKey(2)), HexEncode(keys.SigningKey(3)));
+}
+
+TEST(Authenticator, VerifiesOnlyAddressedEntry) {
+  KeyTable keys(0x42, 6);
+  Bytes message = ToBytes("multicast body");
+  Authenticator auth = Authenticator::Compute(keys, /*sender=*/4, /*n=*/4,
+                                              message);
+  for (int receiver = 0; receiver < 4; ++receiver) {
+    EXPECT_TRUE(auth.Verify(keys, 4, receiver, message)) << receiver;
+  }
+  EXPECT_FALSE(auth.Verify(keys, 4, 5, message));   // out of range
+  EXPECT_FALSE(auth.Verify(keys, 3, 1, message));   // wrong sender
+  EXPECT_FALSE(auth.Verify(keys, 4, 1, ToBytes("tampered body")));
+}
+
+TEST(Authenticator, WireRoundTripAndTamper) {
+  KeyTable keys(0x42, 6);
+  Bytes message = ToBytes("body");
+  Authenticator auth = Authenticator::Compute(keys, 0, 4, message);
+  Bytes wire = auth.Encode();
+  EXPECT_EQ(wire.size(), 4 * kMacSize);
+
+  Authenticator decoded = Authenticator::Decode(wire);
+  EXPECT_TRUE(decoded.Verify(keys, 0, 2, message));
+
+  decoded.CorruptEntry(2);
+  EXPECT_FALSE(decoded.Verify(keys, 0, 2, message));
+  EXPECT_TRUE(decoded.Verify(keys, 0, 1, message));  // others unaffected
+}
+
+TEST(Authenticator, DecodeRejectsBadSizes) {
+  Authenticator bad = Authenticator::Decode(ToBytes("not a mac table"));
+  KeyTable keys(0x42, 4);
+  EXPECT_FALSE(bad.Verify(keys, 0, 0, ToBytes("m")));
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,323 @@
+// Contract tests for the three "off-the-shelf" file-system implementations.
+// Every behaviour here is part of the black-box contract the conformance
+// wrapper depends on, so the suite is parameterized over all vendors.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/basefs/basefs_group.h"
+#include "src/fs/log_fs.h"
+
+namespace bftbase {
+namespace {
+
+class FsImplTest : public ::testing::TestWithParam<FsVendor> {
+ protected:
+  FsImplTest() : sim_(1), fs_(MakeFileSystem(GetParam(), &sim_)) {}
+
+  Bytes Root() { return fs_->Root(); }
+
+  Simulation sim_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_P(FsImplTest, RootIsDirectory) {
+  auto attr = fs_->GetAttr(Root());
+  ASSERT_EQ(attr.stat, NfsStat::kOk);
+  EXPECT_EQ(attr.attr.type, FileType::kDirectory);
+  EXPECT_GT(attr.attr.fileid, 0u);
+}
+
+TEST_P(FsImplTest, CreateLookupReadWrite) {
+  auto created = fs_->Create(Root(), "file", SetAttrs());
+  ASSERT_EQ(created.stat, NfsStat::kOk);
+  EXPECT_EQ(created.attr.type, FileType::kRegular);
+  EXPECT_EQ(created.attr.size, 0u);
+
+  auto written = fs_->Write(created.fh, 0, ToBytes("hello"));
+  ASSERT_EQ(written.stat, NfsStat::kOk);
+  EXPECT_EQ(written.attr.size, 5u);
+
+  auto looked = fs_->Lookup(Root(), "file");
+  ASSERT_EQ(looked.stat, NfsStat::kOk);
+  auto data = fs_->Read(looked.fh, 0, 100);
+  ASSERT_EQ(data.stat, NfsStat::kOk);
+  EXPECT_EQ(ToString(data.data), "hello");
+}
+
+TEST_P(FsImplTest, SparseWriteZeroFills) {
+  auto created = fs_->Create(Root(), "sparse", SetAttrs());
+  ASSERT_EQ(created.stat, NfsStat::kOk);
+  ASSERT_EQ(fs_->Write(created.fh, 4, ToBytes("x")).stat, NfsStat::kOk);
+  auto data = fs_->Read(created.fh, 0, 10);
+  ASSERT_EQ(data.stat, NfsStat::kOk);
+  EXPECT_EQ(data.data, (Bytes{0, 0, 0, 0, 'x'}));
+}
+
+TEST_P(FsImplTest, ReadBeyondEofReturnsShort) {
+  auto created = fs_->Create(Root(), "short", SetAttrs());
+  fs_->Write(created.fh, 0, ToBytes("abc"));
+  auto data = fs_->Read(created.fh, 2, 100);
+  ASSERT_EQ(data.stat, NfsStat::kOk);
+  EXPECT_EQ(ToString(data.data), "c");
+  auto past = fs_->Read(created.fh, 50, 10);
+  ASSERT_EQ(past.stat, NfsStat::kOk);
+  EXPECT_TRUE(past.data.empty());
+}
+
+TEST_P(FsImplTest, SetAttrTruncatesAndExtends) {
+  auto created = fs_->Create(Root(), "trunc", SetAttrs());
+  fs_->Write(created.fh, 0, ToBytes("0123456789"));
+  SetAttrs shrink;
+  shrink.size = 4;
+  ASSERT_EQ(fs_->SetAttr(created.fh, shrink).stat, NfsStat::kOk);
+  auto data = fs_->Read(created.fh, 0, 100);
+  EXPECT_EQ(ToString(data.data), "0123");
+  SetAttrs grow;
+  grow.size = 6;
+  ASSERT_EQ(fs_->SetAttr(created.fh, grow).stat, NfsStat::kOk);
+  data = fs_->Read(created.fh, 0, 100);
+  EXPECT_EQ(data.data, (Bytes{'0', '1', '2', '3', 0, 0}));
+}
+
+TEST_P(FsImplTest, ModeUidGid) {
+  SetAttrs attrs;
+  attrs.mode = 0640;
+  attrs.uid = 1000;
+  attrs.gid = 2000;
+  auto created = fs_->Create(Root(), "perm", attrs);
+  ASSERT_EQ(created.stat, NfsStat::kOk);
+  EXPECT_EQ(created.attr.mode, 0640u);
+  EXPECT_EQ(created.attr.uid, 1000u);
+  EXPECT_EQ(created.attr.gid, 2000u);
+}
+
+TEST_P(FsImplTest, DirectoryLifecycle) {
+  auto dir = fs_->Mkdir(Root(), "d", SetAttrs());
+  ASSERT_EQ(dir.stat, NfsStat::kOk);
+  EXPECT_EQ(dir.attr.type, FileType::kDirectory);
+  // Remove on a dir fails; rmdir works once empty.
+  EXPECT_EQ(fs_->Remove(Root(), "d"), NfsStat::kIsDir);
+  auto child = fs_->Create(dir.fh, "f", SetAttrs());
+  ASSERT_EQ(child.stat, NfsStat::kOk);
+  EXPECT_EQ(fs_->Rmdir(Root(), "d"), NfsStat::kNotEmpty);
+  EXPECT_EQ(fs_->Remove(dir.fh, "f"), NfsStat::kOk);
+  EXPECT_EQ(fs_->Rmdir(Root(), "d"), NfsStat::kOk);
+  EXPECT_EQ(fs_->Lookup(Root(), "d").stat, NfsStat::kNoEnt);
+}
+
+TEST_P(FsImplTest, DuplicateNamesRejected) {
+  ASSERT_EQ(fs_->Create(Root(), "x", SetAttrs()).stat, NfsStat::kOk);
+  EXPECT_EQ(fs_->Create(Root(), "x", SetAttrs()).stat, NfsStat::kExist);
+  EXPECT_EQ(fs_->Mkdir(Root(), "x", SetAttrs()).stat, NfsStat::kExist);
+}
+
+TEST_P(FsImplTest, InvalidNamesRejected) {
+  EXPECT_NE(fs_->Create(Root(), "", SetAttrs()).stat, NfsStat::kOk);
+  EXPECT_NE(fs_->Create(Root(), "a/b", SetAttrs()).stat, NfsStat::kOk);
+  EXPECT_NE(fs_->Create(Root(), ".", SetAttrs()).stat, NfsStat::kOk);
+  EXPECT_NE(fs_->Create(Root(), "..", SetAttrs()).stat, NfsStat::kOk);
+  std::string long_name(300, 'n');
+  EXPECT_EQ(fs_->Create(Root(), long_name, SetAttrs()).stat,
+            NfsStat::kNameTooLong);
+}
+
+TEST_P(FsImplTest, SymlinkRoundTrip) {
+  auto link = fs_->Symlink(Root(), "l", "some/target", SetAttrs());
+  ASSERT_EQ(link.stat, NfsStat::kOk);
+  EXPECT_EQ(link.attr.type, FileType::kSymlink);
+  auto target = fs_->Readlink(link.fh);
+  ASSERT_EQ(target.stat, NfsStat::kOk);
+  EXPECT_EQ(target.target, "some/target");
+  // Readlink on non-symlinks fails.
+  auto file = fs_->Create(Root(), "f", SetAttrs());
+  EXPECT_NE(fs_->Readlink(file.fh).stat, NfsStat::kOk);
+}
+
+TEST_P(FsImplTest, RenameMovesWithoutCopy) {
+  auto a = fs_->Mkdir(Root(), "a", SetAttrs());
+  auto b = fs_->Mkdir(Root(), "b", SetAttrs());
+  auto f = fs_->Create(a.fh, "f", SetAttrs());
+  fs_->Write(f.fh, 0, ToBytes("payload"));
+  uint64_t fileid = f.attr.fileid;
+
+  ASSERT_EQ(fs_->Rename(a.fh, "f", b.fh, "g"), NfsStat::kOk);
+  EXPECT_EQ(fs_->Lookup(a.fh, "f").stat, NfsStat::kNoEnt);
+  auto moved = fs_->Lookup(b.fh, "g");
+  ASSERT_EQ(moved.stat, NfsStat::kOk);
+  EXPECT_EQ(moved.attr.fileid, fileid);  // same object
+  EXPECT_EQ(ToString(fs_->Read(moved.fh, 0, 100).data), "payload");
+}
+
+TEST_P(FsImplTest, RenameOverwritesCompatibleTarget) {
+  auto f1 = fs_->Create(Root(), "f1", SetAttrs());
+  auto f2 = fs_->Create(Root(), "f2", SetAttrs());
+  fs_->Write(f1.fh, 0, ToBytes("one"));
+  fs_->Write(f2.fh, 0, ToBytes("two"));
+  ASSERT_EQ(fs_->Rename(Root(), "f1", Root(), "f2"), NfsStat::kOk);
+  EXPECT_EQ(fs_->Lookup(Root(), "f1").stat, NfsStat::kNoEnt);
+  auto data = fs_->Read(fs_->Lookup(Root(), "f2").fh, 0, 100);
+  EXPECT_EQ(ToString(data.data), "one");
+}
+
+TEST_P(FsImplTest, RenameDirIntoOwnSubtreeRejected) {
+  auto outer = fs_->Mkdir(Root(), "outer", SetAttrs());
+  auto inner = fs_->Mkdir(outer.fh, "inner", SetAttrs());
+  EXPECT_EQ(fs_->Rename(Root(), "outer", inner.fh, "oops"), NfsStat::kInval);
+}
+
+TEST_P(FsImplTest, ReaddirReturnsAllEntries) {
+  std::set<std::string> names = {"delta", "alpha", "charlie", "bravo"};
+  for (const std::string& name : names) {
+    ASSERT_EQ(fs_->Create(Root(), name, SetAttrs()).stat, NfsStat::kOk);
+  }
+  auto listing = fs_->Readdir(Root());
+  ASSERT_EQ(listing.stat, NfsStat::kOk);
+  std::set<std::string> seen;
+  for (const DirEntry& e : listing.entries) {
+    seen.insert(e.name);
+  }
+  EXPECT_EQ(seen, names);  // order is vendor-specific; the SET must match
+}
+
+TEST_P(FsImplTest, StatfsIsSane) {
+  auto stat = fs_->Statfs();
+  ASSERT_EQ(stat.stat, NfsStat::kOk);
+  EXPECT_GT(stat.block_size, 0u);
+  EXPECT_GT(stat.total_blocks, 0u);
+  EXPECT_LE(stat.free_blocks, stat.total_blocks);
+}
+
+TEST_P(FsImplTest, RestartInvalidatesHandles) {
+  auto f = fs_->Create(Root(), "volatile", SetAttrs());
+  ASSERT_EQ(f.stat, NfsStat::kOk);
+  Bytes old_root = Root();
+  fs_->Restart();
+  // The old handles go stale (paper §3.4)...
+  EXPECT_EQ(fs_->GetAttr(f.fh).stat, NfsStat::kStale);
+  EXPECT_EQ(fs_->GetAttr(old_root).stat, NfsStat::kStale);
+  // ...but the data survives under fresh handles.
+  auto fresh = fs_->Lookup(fs_->Root(), "volatile");
+  ASSERT_EQ(fresh.stat, NfsStat::kOk);
+  EXPECT_EQ(fresh.attr.fileid, f.attr.fileid);
+}
+
+TEST_P(FsImplTest, FileidIsStableIdentity) {
+  auto f = fs_->Create(Root(), "id", SetAttrs());
+  uint64_t fileid = f.attr.fileid;
+  fs_->Write(f.fh, 0, ToBytes("data"));
+  fs_->Restart();
+  auto fresh = fs_->Lookup(fs_->Root(), "id");
+  EXPECT_EQ(fresh.attr.fileid, fileid);
+}
+
+TEST_P(FsImplTest, CorruptObjectChangesContent) {
+  auto f = fs_->Create(Root(), "target", SetAttrs());
+  fs_->Write(f.fh, 0, ToBytes("pristine"));
+  ASSERT_TRUE(fs_->CorruptObject(f.attr.fileid));
+  auto data = fs_->Read(f.fh, 0, 100);
+  ASSERT_EQ(data.stat, NfsStat::kOk);
+  EXPECT_NE(ToString(data.data), "pristine");
+  EXPECT_FALSE(fs_->CorruptObject(0xDEAD));  // unknown fileid
+}
+
+TEST_P(FsImplTest, ResetWipesEverything) {
+  fs_->Create(Root(), "gone", SetAttrs());
+  fs_->Reset();
+  auto listing = fs_->Readdir(fs_->Root());
+  ASSERT_EQ(listing.stat, NfsStat::kOk);
+  EXPECT_TRUE(listing.entries.empty());
+}
+
+TEST_P(FsImplTest, StaleAndGarbageHandlesRejected) {
+  EXPECT_EQ(fs_->GetAttr(Bytes()).stat, NfsStat::kStale);
+  Bytes junk(16, 0xEE);
+  EXPECT_EQ(fs_->GetAttr(junk).stat, NfsStat::kStale);
+  Bytes wrong_size(7, 0x01);
+  EXPECT_EQ(fs_->GetAttr(wrong_size).stat, NfsStat::kStale);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVendors, FsImplTest,
+                         ::testing::Values(FsVendor::kLinear, FsVendor::kTree,
+                                           FsVendor::kLog),
+                         [](const auto& info) {
+                           return std::string(FsVendorName(info.param));
+                         });
+
+// Vendor-specific behaviours.
+
+TEST(LogFsAging, LeakGrowsAndOnlyResetCures) {
+  Simulation sim(1);
+  LogFs fs(&sim);
+  size_t before = fs.leaked_bytes();
+  auto f = fs.Create(fs.Root(), "churn", SetAttrs());
+  for (int i = 0; i < 100; ++i) {
+    fs.Write(f.fh, 0, ToBytes("data"));
+  }
+  EXPECT_GT(fs.leaked_bytes(), before);
+  size_t leaked = fs.leaked_bytes();
+  fs.Restart();  // an ordinary restart does NOT cure aging
+  EXPECT_EQ(fs.leaked_bytes(), leaked);
+  fs.Reset();  // the clean restart of proactive recovery does
+  EXPECT_EQ(fs.leaked_bytes(), 0u);
+}
+
+TEST(LogFsAging, CompactionBoundsLogGrowth) {
+  Simulation sim(1);
+  LogFs fs(&sim);
+  auto f = fs.Create(fs.Root(), "big", SetAttrs());
+  Bytes chunk(64 * 1024, 0x42);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(fs.Write(f.fh, 0, chunk).stat, NfsStat::kOk);
+  }
+  EXPECT_GT(fs.compactions(), 0u);
+}
+
+TEST(VendorDivergence, ReaddirOrdersDiffer) {
+  // The non-determinism the wrapper must hide: identical logical operations
+  // produce different readdir orders across vendors.
+  Simulation sim(1);
+  auto a = MakeFileSystem(FsVendor::kLinear, &sim);
+  auto b = MakeFileSystem(FsVendor::kTree, &sim);
+  for (const char* name : {"zz", "aa", "mm"}) {
+    a->Create(a->Root(), name, SetAttrs());
+    b->Create(b->Root(), name, SetAttrs());
+  }
+  auto la = a->Readdir(a->Root());
+  auto lb = b->Readdir(b->Root());
+  std::vector<std::string> names_a;
+  std::vector<std::string> names_b;
+  for (const auto& e : la.entries) {
+    names_a.push_back(e.name);
+  }
+  for (const auto& e : lb.entries) {
+    names_b.push_back(e.name);
+  }
+  EXPECT_EQ(names_a, (std::vector<std::string>{"zz", "aa", "mm"}));  // insertion
+  EXPECT_EQ(names_b, (std::vector<std::string>{"zz", "mm", "aa"}));  // reverse-lex
+}
+
+TEST(VendorDivergence, FileHandlesDiffer) {
+  Simulation sim(1);
+  auto a = MakeFileSystem(FsVendor::kLinear, &sim);
+  auto b = MakeFileSystem(FsVendor::kTree, &sim);
+  auto fa = a->Create(a->Root(), "same", SetAttrs());
+  auto fb = b->Create(b->Root(), "same", SetAttrs());
+  EXPECT_NE(HexEncode(fa.fh), HexEncode(fb.fh));
+}
+
+TEST(VendorDivergence, TimestampGranularityDiffers) {
+  Simulation sim(1);
+  SimTime odd_instant = 1234567;  // not a whole second
+  auto a = MakeFileSystem(FsVendor::kLinear, &sim,
+                          /*clock_skew_us=*/odd_instant);
+  auto b = MakeFileSystem(FsVendor::kTree, &sim,
+                          /*clock_skew_us=*/odd_instant);
+  auto fa = a->Create(a->Root(), "t", SetAttrs());
+  auto fb = b->Create(b->Root(), "t", SetAttrs());
+  EXPECT_EQ(fa.attr.mtime_us % kSecond, 0);   // VendorA: second granularity
+  EXPECT_NE(fb.attr.mtime_us % kSecond, 0);   // VendorB: microseconds
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,212 @@
+// Unit tests for BFT message encodings and the authenticated channel.
+#include <gtest/gtest.h>
+
+#include "src/bft/channel.h"
+#include "src/bft/message.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+namespace {
+
+TEST(Message, RequestRoundTrip) {
+  RequestMsg msg;
+  msg.client = 5;
+  msg.timestamp = 99;
+  msg.read_only = true;
+  msg.op = ToBytes("operation bytes");
+  auto decoded = RequestMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->client, 5);
+  EXPECT_EQ(decoded->timestamp, 99u);
+  EXPECT_TRUE(decoded->read_only);
+  EXPECT_EQ(ToString(decoded->op), "operation bytes");
+  EXPECT_EQ(decoded->ComputeDigest(), msg.ComputeDigest());
+}
+
+TEST(Message, PrePrepareRoundTripAndDigest) {
+  PrePrepareMsg msg;
+  msg.view = 3;
+  msg.seq = 17;
+  msg.nondet = ToBytes("ts");
+  msg.requests = {ToBytes("req1"), ToBytes("req2")};
+  auto decoded = PrePrepareMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->view, 3u);
+  EXPECT_EQ(decoded->seq, 17u);
+  EXPECT_EQ(decoded->requests.size(), 2u);
+  EXPECT_EQ(decoded->ComputeDigest(), msg.ComputeDigest());
+
+  // The digest covers content, not the slot.
+  PrePrepareMsg other = msg;
+  other.seq = 18;
+  EXPECT_EQ(other.ComputeDigest(), msg.ComputeDigest());
+  other.nondet = ToBytes("different");
+  EXPECT_NE(other.ComputeDigest(), msg.ComputeDigest());
+}
+
+TEST(Message, PrepareCommitRoundTrip) {
+  PrepareMsg prepare;
+  prepare.view = 1;
+  prepare.seq = 2;
+  prepare.digest = Digest::Of(ToBytes("d"));
+  prepare.replica = 3;
+  auto p = PrepareMsg::Decode(prepare.Encode());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->digest, prepare.digest);
+  EXPECT_EQ(p->replica, 3);
+
+  CommitMsg commit;
+  commit.view = 4;
+  commit.seq = 5;
+  commit.digest = Digest::Of(ToBytes("e"));
+  commit.replica = 1;
+  auto c = CommitMsg::Decode(commit.Encode());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->seq, 5u);
+}
+
+TEST(Message, ReplyRoundTripDigestForm) {
+  ReplyMsg reply;
+  reply.view = 2;
+  reply.timestamp = 10;
+  reply.client = 6;
+  reply.replica = 1;
+  reply.result = ToBytes("result");
+  Digest full_digest = reply.ResultDigest();
+
+  ReplyMsg digest_form = reply;
+  digest_form.result_is_digest = true;
+  digest_form.result = Digest::Of(ToBytes("result")).ToBytes();
+  EXPECT_EQ(digest_form.ResultDigest(), full_digest);
+
+  auto decoded = ReplyMsg::Decode(digest_form.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->result_is_digest);
+  EXPECT_EQ(decoded->ResultDigest(), full_digest);
+}
+
+TEST(Message, ViewChangeRoundTrip) {
+  ViewChangeMsg msg;
+  msg.new_view = 7;
+  msg.stable_seq = 128;
+  msg.stable_digest = Digest::Of(ToBytes("state"));
+  msg.checkpoint_proof = {ToBytes("cp1"), ToBytes("cp2"), ToBytes("cp3")};
+  PreparedProof proof;
+  proof.pre_prepare_wire = ToBytes("pp");
+  proof.prepare_wires = {ToBytes("p1"), ToBytes("p2")};
+  msg.prepared.push_back(proof);
+  msg.replica = 2;
+
+  auto decoded = ViewChangeMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->new_view, 7u);
+  EXPECT_EQ(decoded->stable_seq, 128u);
+  EXPECT_EQ(decoded->checkpoint_proof.size(), 3u);
+  ASSERT_EQ(decoded->prepared.size(), 1u);
+  EXPECT_EQ(decoded->prepared[0].prepare_wires.size(), 2u);
+  EXPECT_EQ(decoded->replica, 2);
+}
+
+TEST(Message, NewViewRoundTrip) {
+  NewViewMsg msg;
+  msg.view = 9;
+  msg.view_changes = {ToBytes("vc1"), ToBytes("vc2"), ToBytes("vc3")};
+  msg.pre_prepares = {ToBytes("pp1")};
+  auto decoded = NewViewMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->view, 9u);
+  EXPECT_EQ(decoded->view_changes.size(), 3u);
+  EXPECT_EQ(decoded->pre_prepares.size(), 1u);
+}
+
+TEST(Message, MalformedInputsRejected) {
+  EXPECT_FALSE(RequestMsg::Decode(ToBytes("garbage")).ok());
+  EXPECT_FALSE(PrePrepareMsg::Decode(Bytes()).ok());
+  EXPECT_FALSE(ViewChangeMsg::Decode(ToBytes("x")).ok());
+  // Trailing garbage is rejected too.
+  RequestMsg msg;
+  msg.op = ToBytes("op");
+  Bytes wire = msg.Encode();
+  wire.push_back(0);
+  EXPECT_FALSE(RequestMsg::Decode(wire).ok());
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest()
+      : sim_(1),
+        keys_(0x99, config_.node_count()),
+        alice_(&sim_, &keys_, config_, 0),
+        bob_(&sim_, &keys_, config_, 1),
+        client_(&sim_, &keys_, config_, config_.ClientId(0)) {}
+
+  Config config_;
+  Simulation sim_;
+  KeyTable keys_;
+  Channel alice_;
+  Channel bob_;
+  Channel client_;
+};
+
+TEST_F(ChannelTest, AuthenticatorSealOpen) {
+  Bytes wire = alice_.SealAuthenticated(MsgType::kCommit, ToBytes("payload"));
+  auto opened = bob_.Open(wire);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->type, MsgType::kCommit);
+  EXPECT_EQ(opened->sender, 0);
+  EXPECT_EQ(ToString(opened->payload), "payload");
+}
+
+TEST_F(ChannelTest, SingleMacOnlyVerifiesAtAddressee) {
+  Bytes wire = alice_.SealMac(MsgType::kReply, ToBytes("for bob"), 1);
+  EXPECT_TRUE(bob_.Open(wire).ok());
+  Channel carol(&sim_, &keys_, config_, 2);
+  EXPECT_FALSE(carol.Open(wire).ok());
+}
+
+TEST_F(ChannelTest, SignedVerifiesAnywhere) {
+  Bytes wire = alice_.SealSigned(MsgType::kPrePrepare, ToBytes("signed"));
+  EXPECT_TRUE(bob_.Open(wire).ok());
+  Channel carol(&sim_, &keys_, config_, 2);
+  EXPECT_TRUE(carol.Open(wire).ok());
+  EXPECT_TRUE(client_.Open(wire).ok());
+}
+
+TEST_F(ChannelTest, TamperedPayloadRejected) {
+  Bytes wire = alice_.SealSigned(MsgType::kPrepare, ToBytes("honest"));
+  // Flip a byte inside the payload region.
+  wire[wire.size() / 2] ^= 0x01;
+  EXPECT_FALSE(bob_.Open(wire).ok());
+}
+
+TEST_F(ChannelTest, CorruptAuthRejected) {
+  alice_.CorruptOutgoingAuth(true);
+  Bytes wire = alice_.SealAuthenticated(MsgType::kCommit, ToBytes("x"));
+  EXPECT_FALSE(bob_.Open(wire).ok());
+}
+
+TEST_F(ChannelTest, GarbageRejectedWithoutCrash) {
+  EXPECT_FALSE(bob_.Open(Bytes()).ok());
+  EXPECT_FALSE(bob_.Open(ToBytes("random junk that is not an envelope")).ok());
+  Bytes long_junk(10000, 0xEE);
+  EXPECT_FALSE(bob_.Open(long_junk).ok());
+}
+
+TEST_F(ChannelTest, ParseUnverifiedExtractsPayload) {
+  Bytes wire = alice_.SealMac(MsgType::kRequest, ToBytes("fast path"), 1);
+  auto parsed = Channel::ParseUnverified(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(ToString(parsed->payload), "fast path");
+  EXPECT_EQ(parsed->sender, 0);
+}
+
+TEST_F(ChannelTest, KeyRefreshInvalidatesOldMacsNotSignatures) {
+  Bytes mac_wire = alice_.SealMac(MsgType::kReply, ToBytes("m"), 1);
+  Bytes signed_wire = alice_.SealSigned(MsgType::kCheckpoint, ToBytes("s"));
+  keys_.RefreshKeysFor(0);
+  EXPECT_FALSE(bob_.Open(mac_wire).ok());    // session key rotated
+  EXPECT_TRUE(bob_.Open(signed_wire).ok());  // signatures survive (proofs!)
+}
+
+}  // namespace
+}  // namespace bftbase

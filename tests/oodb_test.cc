@@ -1,0 +1,212 @@
+// Tests of the object-database substrate and its conformance wrapper.
+#include <gtest/gtest.h>
+
+#include "src/oodb/oodb_session.h"
+
+namespace bftbase {
+namespace {
+
+ServiceGroup::Params DbParams(uint64_t seed = 71) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 16;
+  params.config.log_window = 32;
+  params.seed = seed;
+  return params;
+}
+
+void ExpectIdenticalAbstractStates(ServiceGroup& group, uint32_t array_size) {
+  for (uint32_t i = 0; i < array_size; ++i) {
+    Bytes reference = group.adapter(0)->GetObj(i);
+    for (int r = 1; r < group.replica_count(); ++r) {
+      ASSERT_EQ(HexEncode(reference), HexEncode(group.adapter(r)->GetObj(i)))
+          << "abstract object " << i << " differs at replica " << r;
+    }
+  }
+}
+
+TEST(ObjectDbEngine, InstancesDivergeOnInternalIds) {
+  Simulation sim(1);
+  ObjectDb a(&sim, 111);
+  ObjectDb b(&sim, 222);
+  auto ida = a.Create("widget");
+  auto idb = b.Create("widget");
+  EXPECT_NE(ida, idb);  // same logical operation, different internal ids
+}
+
+TEST(ObjectDbEngine, ScanOrderIsHashOrder) {
+  Simulation sim(1);
+  ObjectDb a(&sim, 111);
+  ObjectDb b(&sim, 222);
+  for (int i = 0; i < 20; ++i) {
+    a.Create("c");
+    b.Create("c");
+  }
+  // Orders (as id sequences) are instance-specific; sizes agree.
+  EXPECT_EQ(a.Scan().size(), 20u);
+  EXPECT_EQ(b.Scan().size(), 20u);
+}
+
+TEST(ObjectDbEngine, ReferentialIntegrityOnDelete) {
+  Simulation sim(1);
+  ObjectDb db(&sim, 5);
+  auto parent = db.Create("p");
+  auto child = db.Create("c");
+  ASSERT_TRUE(db.AddRef(parent, "kids", child).ok());
+  ASSERT_TRUE(db.Delete(child).ok());
+  auto refs = db.GetRefs(parent, "kids");
+  ASSERT_TRUE(refs.ok());
+  EXPECT_TRUE(refs->empty());  // scrubbed, not dangling
+}
+
+TEST(Oodb, ReplicatedBasicOperations) {
+  auto group = MakeOodbGroup(DbParams(), 256);
+  ReplicatedOodbSession db(group.get(), 0);
+
+  auto root = db.Create("module");
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(db.SetScalar(*root, "value", 42).ok());
+  ASSERT_TRUE(db.SetString(*root, "name", "root-module").ok());
+
+  auto value = db.GetScalar(*root, "value");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  auto name = db.GetString(*root, "name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "root-module");
+
+  auto child = db.Create("part");
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(db.SetScalar(*child, "value", 8).ok());
+  ASSERT_TRUE(db.AddRef(*root, "parts", *child).ok());
+
+  auto traverse = db.Traverse(*root, "parts", 4);
+  ASSERT_TRUE(traverse.ok());
+  EXPECT_EQ(traverse->first, 2u);   // visited root + child
+  EXPECT_EQ(traverse->second, 50);  // 42 + 8
+}
+
+TEST(Oodb, ScanIsSortedDespiteHashOrder) {
+  auto group = MakeOodbGroup(DbParams(73), 256);
+  ReplicatedOodbSession db(group.get(), 0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Create("c").ok());
+  }
+  auto scan = db.Scan();
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 10u);
+  EXPECT_TRUE(std::is_sorted(scan->begin(), scan->end()));
+}
+
+TEST(Oodb, ReplicasAgreeDespiteNondeterministicEngine) {
+  auto group = MakeOodbGroup(DbParams(79), 256);
+  ReplicatedOodbSession db(group.get(), 0);
+
+  std::vector<Oid> parts;
+  auto assembly = db.Create("assembly");
+  ASSERT_TRUE(assembly.ok());
+  for (int i = 0; i < 12; ++i) {
+    auto part = db.Create("part");
+    ASSERT_TRUE(part.ok());
+    ASSERT_TRUE(db.SetScalar(*part, "value", i).ok());
+    ASSERT_TRUE(db.AddRef(*assembly, "parts", *part).ok());
+    parts.push_back(*part);
+  }
+  ASSERT_TRUE(db.Delete(parts[3]).ok());
+  ASSERT_TRUE(db.Delete(parts[7]).ok());
+  // Deleted slots get reused with bumped generations.
+  ASSERT_TRUE(db.Create("replacement").ok());
+
+  group->sim().RunUntil(group->sim().Now() + kSecond);
+  ExpectIdenticalAbstractStates(*group, 256);
+}
+
+TEST(Oodb, AbstractionRoundTripAcrossInstances) {
+  Simulation sim(83);
+  OodbConformanceWrapper::Options options;
+  options.array_size = 64;
+  OodbConformanceWrapper source(
+      &sim, [&] { return std::make_unique<ObjectDb>(&sim, 1); }, options);
+  OodbConformanceWrapper target(
+      &sim, [&] { return std::make_unique<ObjectDb>(&sim, 99999); }, options);
+
+  auto run = [&](OodbConformanceWrapper& w, const DbCall& call) {
+    Bytes out = w.Execute(call.Encode(), 100, Bytes(), false);
+    auto reply = DbReply::Decode(out);
+    EXPECT_TRUE(reply.ok());
+    return *reply;
+  };
+  DbCall create;
+  create.proc = DbProc::kCreate;
+  create.klass = "node";
+  DbReply a = run(source, create);
+  DbReply b = run(source, create);
+  DbCall link;
+  link.proc = DbProc::kAddRef;
+  link.oid = a.oid;
+  link.field = "next";
+  link.target = b.oid;
+  ASSERT_EQ(run(source, link).status, 0u);
+  DbCall set;
+  set.proc = DbProc::kSetScalar;
+  set.oid = b.oid;
+  set.field = "value";
+  set.value = 17;
+  ASSERT_EQ(run(source, set).status, 0u);
+
+  std::vector<ObjectUpdate> updates;
+  for (uint32_t i = 0; i < options.array_size; ++i) {
+    updates.push_back(ObjectUpdate{i, source.GetObj(i)});
+  }
+  target.PutObjs(updates);
+  for (uint32_t i = 0; i < options.array_size; ++i) {
+    EXPECT_EQ(HexEncode(source.GetObj(i)), HexEncode(target.GetObj(i)))
+        << "object " << i;
+  }
+  // The transplanted graph is traversable on the target.
+  DbCall traverse;
+  traverse.proc = DbProc::kTraverse;
+  traverse.oid = a.oid;
+  traverse.field = "next";
+  traverse.depth = 3;
+  DbReply walked = run(target, traverse);
+  EXPECT_EQ(walked.visited, 2u);
+  EXPECT_EQ(walked.value, 17);
+}
+
+TEST(Oodb, RecoveryRepairsCorruptObject) {
+  auto group = MakeOodbGroup(DbParams(89), 256);
+  ReplicatedOodbSession db(group.get(), 0);
+  auto obj = db.Create("precious");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_TRUE(db.SetScalar(*obj, "value", 1234).ok());
+  for (int i = 0; i < 18; ++i) {  // cross a checkpoint
+    ASSERT_TRUE(db.SetScalar(*obj, "tick", i).ok());
+  }
+  auto* wrapper = static_cast<OodbConformanceWrapper*>(group->adapter(2));
+  ASSERT_TRUE(wrapper->CorruptConcreteObject(OidIndex(*obj)));
+
+  group->replica(2).StartProactiveRecovery();
+  ASSERT_TRUE(group->sim().RunUntilTrue(
+      [&] { return group->replica(2).recoveries_completed() == 1; },
+      group->sim().Now() + 600 * kSecond));
+  EXPECT_GE(group->service(2).state_transfer().leaves_fetched(), 1u);
+
+  // Align and compare.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db.SetScalar(*obj, "tick", 100 + i).ok());
+    group->sim().RunUntil(group->sim().Now() + kSecond);
+    bool aligned = true;
+    for (int r = 1; r < group->replica_count(); ++r) {
+      aligned = aligned && group->replica(r).last_executed() ==
+                               group->replica(0).last_executed();
+    }
+    if (aligned) {
+      break;
+    }
+  }
+  ExpectIdenticalAbstractStates(*group, 256);
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,163 @@
+// Adversarial robustness tests: garbage and tampered traffic aimed at
+// replicas and clients must never crash the process, corrupt agreed state,
+// or let unauthenticated input through.
+#include <gtest/gtest.h>
+
+#include "src/base/kv_adapter.h"
+#include "src/base/service_group.h"
+#include "src/bft/channel.h"
+#include "src/sim/network.h"
+#include "src/util/rng.h"
+
+namespace bftbase {
+namespace {
+
+ServiceGroup::Params RobustParams(uint64_t seed) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 8;
+  params.config.log_window = 16;
+  params.seed = seed;
+  return params;
+}
+
+std::unique_ptr<ServiceGroup> MakeGroup(uint64_t seed) {
+  return std::make_unique<ServiceGroup>(
+      RobustParams(seed), [](Simulation* sim, NodeId) {
+        return std::make_unique<KvAdapter>(sim, 64);
+      });
+}
+
+TEST(Robustness, RandomGarbageToEveryNode) {
+  auto group = MakeGroup(7001);
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(0, ToBytes("base"))).ok());
+
+  Rng rng(99);
+  for (int burst = 0; burst < 50; ++burst) {
+    Bytes junk(rng.NextBelow(400), 0);
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    for (NodeId target = 0; target < 4; ++target) {
+      group->sim().network().Send(group->config().ClientId(1), target, junk);
+    }
+    group->sim().network().Send(0, group->config().ClientId(0), junk);
+  }
+  group->sim().RunUntil(group->sim().Now() + kSecond);
+
+  // The service still works and agreed state is intact.
+  auto get = group->Invoke(KvAdapter::EncodeGet(0));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "base");
+}
+
+TEST(Robustness, BitFlippedProtocolTraffic) {
+  auto group = MakeGroup(7002);
+  Rng rng(111);
+  // Flip one byte in 10% of all protocol messages.
+  group->sim().network().SetInterceptor(
+      [&rng](NodeId, NodeId, Bytes& payload) {
+        if (!payload.empty() && rng.NextBool(0.1)) {
+          payload[rng.NextBelow(payload.size())] ^=
+              static_cast<uint8_t>(1 + rng.NextBelow(255));
+        }
+        return true;
+      });
+  for (int i = 0; i < 10; ++i) {
+    auto r = group->Invoke(KvAdapter::EncodeAppend(1, ToBytes("x")),
+                           /*read_only=*/false, 240 * kSecond);
+    ASSERT_TRUE(r.ok()) << "op " << i << ": " << r.status().ToString();
+  }
+  auto get = group->Invoke(KvAdapter::EncodeGet(1), false, 240 * kSecond);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "xxxxxxxxxx");  // executed exactly once each
+}
+
+TEST(Robustness, ReplayedEnvelopesAreHarmless) {
+  auto group = MakeGroup(7003);
+  // Capture all protocol traffic, then replay it later.
+  std::vector<std::tuple<NodeId, NodeId, Bytes>> captured;
+  group->sim().network().SetInterceptor(
+      [&](NodeId from, NodeId to, Bytes& payload) {
+        if (captured.size() < 500) {
+          captured.emplace_back(from, to, payload);
+        }
+        return true;
+      });
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeAppend(2, ToBytes("a"))).ok());
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeAppend(2, ToBytes("b"))).ok());
+  group->sim().network().SetInterceptor(nullptr);
+
+  // A Byzantine node replays every captured message from its own link.
+  for (const auto& [from, to, payload] : captured) {
+    group->sim().network().Send(3, to, payload);
+  }
+  group->sim().RunUntil(group->sim().Now() + 2 * kSecond);
+
+  auto get = group->Invoke(KvAdapter::EncodeGet(2));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "ab");  // replays did not re-execute anything
+}
+
+TEST(Robustness, ClientCannotSpoofAnotherClient) {
+  auto group = MakeGroup(7004);
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(3, ToBytes("mine"))).ok());
+
+  // Client 1 forges a request claiming to be client 0. Replicas verify the
+  // authenticator against the claimed sender's keys, so it must be dropped.
+  RequestMsg forged;
+  forged.client = group->config().ClientId(0);
+  forged.timestamp = 1000;  // far ahead so dedup would not catch it
+  forged.op = KvAdapter::EncodeSet(3, ToBytes("stolen"));
+  Channel mallory(&group->sim(), &group->keys(), group->config(),
+                  group->config().ClientId(1));
+  Bytes wire = mallory.SealAuthenticated(MsgType::kRequest, forged.Encode());
+  for (NodeId r = 0; r < 4; ++r) {
+    group->sim().network().Send(group->config().ClientId(1), r, wire);
+  }
+  group->sim().RunUntil(group->sim().Now() + 2 * kSecond);
+
+  auto get = group->Invoke(KvAdapter::EncodeGet(3));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "mine");
+}
+
+TEST(Robustness, NonPrimaryCannotInjectPrePrepares) {
+  auto group = MakeGroup(7005);
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(4, ToBytes("ok"))).ok());
+
+  // Replica 2 (a backup) forges a pre-prepare for a bogus batch.
+  PrePrepareMsg evil;
+  evil.view = 0;
+  evil.seq = 5;
+  evil.nondet = Bytes(8, 0);
+  Channel backup(&group->sim(), &group->keys(), group->config(), 2);
+  Bytes wire = backup.SealSigned(MsgType::kPrePrepare, evil.Encode());
+  for (NodeId r = 0; r < 4; ++r) {
+    if (r != 2) {
+      group->sim().network().Send(2, r, wire);
+    }
+  }
+  group->sim().RunUntil(group->sim().Now() + 2 * kSecond);
+  // Correct replicas ignore pre-prepares not signed by the view's primary;
+  // the service continues normally.
+  auto r = group->Invoke(KvAdapter::EncodeAppend(4, ToBytes("!")));
+  ASSERT_TRUE(r.ok());
+  auto get = group->Invoke(KvAdapter::EncodeGet(4));
+  EXPECT_EQ(ToString(*get), "ok!");
+}
+
+TEST(Robustness, OversizedMessagesBounded) {
+  auto group = MakeGroup(7006);
+  // A 2 MB garbage blob to every replica: decoders must reject without
+  // allocating unbounded memory or crashing.
+  Bytes huge(2 << 20, 0x41);
+  for (NodeId r = 0; r < 4; ++r) {
+    group->sim().network().Send(group->config().ClientId(1), r, huge);
+  }
+  group->sim().RunUntil(group->sim().Now() + kSecond);
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(5, ToBytes("fine"))).ok());
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,229 @@
+// Unit tests for the discrete-event simulation kernel and network model.
+#include <gtest/gtest.h>
+
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+namespace {
+
+class RecordingNode : public SimNode {
+ public:
+  void OnMessage(NodeId from, const Bytes& payload) override {
+    messages.emplace_back(from, payload);
+  }
+  std::vector<std::pair<NodeId, Bytes>> messages;
+};
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.After(Simulation::kNoOwner, 300, [&] { order.push_back(3); });
+  sim.After(Simulation::kNoOwner, 100, [&] { order.push_back(1); });
+  sim.After(Simulation::kNoOwner, 200, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulation, SameTimeEventsAreFifo) {
+  Simulation sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.After(Simulation::kNoOwner, 50, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulation, CancelledTimerDoesNotFire) {
+  Simulation sim(1);
+  bool fired = false;
+  TimerId id = sim.After(Simulation::kNoOwner, 100, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim(1);
+  int count = 0;
+  sim.After(Simulation::kNoOwner, 100, [&] { ++count; });
+  sim.After(Simulation::kNoOwner, 900, [&] { ++count; });
+  sim.RunUntil(500);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.Now(), 500);
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, ChargeCpuSerializesNode) {
+  Simulation sim(1);
+  std::vector<SimTime> run_times;
+  // Two events for node 7 at the same instant; the first charges 500us of
+  // CPU, so the second must start only after it finishes.
+  sim.After(7, 100, [&] {
+    run_times.push_back(sim.Now());
+    sim.ChargeCpu(500);
+  });
+  sim.After(7, 100, [&] { run_times.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(run_times.size(), 2u);
+  EXPECT_EQ(run_times[0], 100);
+  EXPECT_EQ(run_times[1], 600);
+}
+
+TEST(Simulation, DifferentNodesRunConcurrently) {
+  Simulation sim(1);
+  std::vector<SimTime> run_times;
+  sim.After(1, 100, [&] {
+    run_times.push_back(sim.Now());
+    sim.ChargeCpu(500);
+  });
+  sim.After(2, 100, [&] { run_times.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(run_times.size(), 2u);
+  EXPECT_EQ(run_times[0], 100);
+  EXPECT_EQ(run_times[1], 100);  // node 2 is not blocked by node 1
+}
+
+TEST(Network, DeliversWithLatency) {
+  Simulation sim(1);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  sim.After(1, 0, [&] { sim.network().Send(1, 2, ToBytes("hello")); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(receiver.messages.size(), 1u);
+  EXPECT_EQ(receiver.messages[0].first, 1);
+  EXPECT_EQ(ToString(receiver.messages[0].second), "hello");
+  EXPECT_GE(sim.Now(), sim.cost().MessageLatency(5));
+}
+
+TEST(Network, SenderCpuDelaysDeparture) {
+  Simulation sim(1);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  SimTime arrival_without_cpu = 0;
+  {
+    Simulation sim2(1);
+    RecordingNode r2;
+    sim2.AddNode(2, &r2);
+    sim2.After(1, 0, [&] { sim2.network().Send(1, 2, ToBytes("x")); });
+    sim2.RunUntilIdle();
+    arrival_without_cpu = sim2.Now();
+  }
+  sim.After(1, 0, [&] {
+    sim.ChargeCpu(1000);  // crypto work before the send
+    sim.network().Send(1, 2, ToBytes("x"));
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.Now(), arrival_without_cpu + 1000);
+}
+
+TEST(Network, IsolationDropsBothDirections) {
+  Simulation sim(1);
+  RecordingNode a;
+  RecordingNode b;
+  sim.AddNode(1, &a);
+  sim.AddNode(2, &b);
+  sim.network().Isolate(2);
+  sim.After(1, 0, [&] { sim.network().Send(1, 2, ToBytes("to-isolated")); });
+  sim.After(2, 0, [&] { sim.network().Send(2, 1, ToBytes("from-isolated")); });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(sim.network().messages_dropped(), 2u);
+
+  sim.network().Heal(2);
+  sim.After(1, 0, [&] { sim.network().Send(1, 2, ToBytes("healed")); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(Network, BlockedLinkIsSymmetricAndSpecific) {
+  Simulation sim(1);
+  RecordingNode a;
+  RecordingNode b;
+  RecordingNode c;
+  sim.AddNode(1, &a);
+  sim.AddNode(2, &b);
+  sim.AddNode(3, &c);
+  sim.network().BlockLink(1, 2);
+  sim.After(1, 0, [&] {
+    sim.network().Send(1, 2, ToBytes("blocked"));
+    sim.network().Send(1, 3, ToBytes("open"));
+  });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(c.messages.size(), 1u);
+}
+
+TEST(Network, DropProbabilityDropsSome) {
+  Simulation sim(123);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  sim.network().SetDropProbability(0.5);
+  for (int i = 0; i < 200; ++i) {
+    sim.After(1, i, [&] { sim.network().Send(1, 2, ToBytes("m")); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_GT(receiver.messages.size(), 50u);
+  EXPECT_LT(receiver.messages.size(), 150u);
+}
+
+TEST(Network, InterceptorCanDropAndMutate) {
+  Simulation sim(1);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  sim.network().SetInterceptor([](NodeId, NodeId, Bytes& payload) {
+    if (!payload.empty() && payload[0] == 'd') {
+      return false;  // drop
+    }
+    if (!payload.empty()) {
+      payload[0] = 'X';  // mutate
+    }
+    return true;
+  });
+  sim.After(1, 0, [&] {
+    sim.network().Send(1, 2, ToBytes("drop me"));
+    sim.network().Send(1, 2, ToBytes("mutate me"));
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(receiver.messages.size(), 1u);
+  EXPECT_EQ(ToString(receiver.messages[0].second), "Xutate me");
+}
+
+TEST(Network, MulticastReachesRange) {
+  Simulation sim(1);
+  RecordingNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    sim.AddNode(i, &nodes[i]);
+  }
+  sim.After(0, 0, [&] { sim.network().Multicast(0, 0, 4, ToBytes("all")); });
+  sim.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(nodes[i].messages.size(), 1u) << i;
+  }
+}
+
+TEST(CostModel, LatencyScalesWithSize) {
+  CostModel cost;
+  EXPECT_GT(cost.MessageLatency(10000), cost.MessageLatency(10));
+  EXPECT_GT(cost.DigestCost(1 << 20), cost.DigestCost(64));
+  EXPECT_GT(cost.MacCost(64), cost.DigestCost(64));
+  EXPECT_GT(cost.DiskWriteCost(1 << 20), cost.disk_sync_write_us);
+}
+
+TEST(Simulation, RunUntilTrueReturnsEarly) {
+  Simulation sim(1);
+  bool flag = false;
+  sim.After(Simulation::kNoOwner, 100, [&] { flag = true; });
+  sim.After(Simulation::kNoOwner, 10000, [] {});
+  EXPECT_TRUE(sim.RunUntilTrue([&] { return flag; }, 50000));
+  EXPECT_EQ(sim.Now(), 100);  // did not run to the later event
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,224 @@
+// Unit tests for the hierarchical state-transfer protocol, wired directly
+// between CheckpointManagers (no BFT replicas) so individual mechanisms are
+// observable: selective fetching, discovery quorums, Byzantine servers,
+// local-source short-circuiting, retries.
+#include <gtest/gtest.h>
+
+#include "src/base/kv_adapter.h"
+#include "src/base/state_transfer.h"
+#include "src/sim/network.h"
+
+namespace bftbase {
+namespace {
+
+constexpr size_t kSlots = 256;
+
+// A small harness: n "nodes", each with its own adapter/manager/transfer,
+// exchanging state messages through the simulated network.
+class StateTransferHarness {
+ public:
+  explicit StateTransferHarness(int n, uint64_t seed = 1) : sim_(seed) {
+    config_.f = 1;
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<Node>(&sim_, config_, i));
+    }
+    for (auto& node : nodes_) {
+      node->Wire();
+    }
+  }
+
+  struct Node : public SimNode {
+    Node(Simulation* sim, const Config& config, NodeId id)
+        : sim_ptr(sim),
+          id(id),
+          adapter(sim, kSlots),
+          cm(sim, &adapter, false),
+          st(sim, config, id, &cm) {
+      adapter.SetModifyFn([this](size_t i) { cm.OnModify(i); });
+      sim_ptr->AddNode(id, this);
+    }
+    void Wire() {
+      st.SetSender([this](NodeId to, const Bytes& payload) {
+        sim_ptr->network().Send(id, to, payload);
+      });
+      st.SetDone([this](SeqNum seq, const Digest& root) {
+        done = true;
+        done_seq = seq;
+        done_root = root;
+      });
+    }
+    void OnMessage(NodeId from, const Bytes& payload) override {
+      st.HandleMessage(from, payload);
+    }
+    void Set(uint32_t slot, const std::string& value) {
+      adapter.Execute(KvAdapter::EncodeSet(slot, ToBytes(value)), 100,
+                      Bytes(), false);
+    }
+
+    Simulation* sim_ptr;
+    NodeId id;
+    KvAdapter adapter;
+    CheckpointManager cm;
+    StateTransfer st;
+    bool done = false;
+    SeqNum done_seq = 0;
+    Digest done_root;
+  };
+
+  Node& node(int i) { return *nodes_[i]; }
+  Simulation& sim() { return sim_; }
+
+  // Applies the same writes to nodes [first, last) and checkpoints them.
+  void SetOnAll(int first, int last, uint32_t slot, const std::string& v) {
+    for (int i = first; i < last; ++i) {
+      nodes_[i]->Set(slot, v);
+    }
+  }
+  Digest CheckpointAll(int first, int last, SeqNum seq) {
+    Digest root;
+    for (int i = first; i < last; ++i) {
+      root = nodes_[i]->cm.TakeCheckpoint(seq, ToBytes("ps"));
+    }
+    return root;
+  }
+
+  Config config_;
+  Simulation sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST(StateTransfer, FetchesOnlyDifferingLeaves) {
+  StateTransferHarness h(4);
+  // Nodes 0..2 advance; node 3 stays behind on 5 slots.
+  for (uint32_t slot : {3u, 9u, 40u, 41u, 200u}) {
+    h.SetOnAll(0, 3, slot, "new-" + std::to_string(slot));
+  }
+  Digest root = h.CheckpointAll(0, 3, 10);
+
+  h.node(3).st.Start(10, root);
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return h.node(3).done; },
+                                   10 * kSecond));
+  EXPECT_EQ(h.node(3).done_seq, 10u);
+  EXPECT_EQ(h.node(3).st.leaves_fetched(), 6u);  // 5 slots + protocol leaf
+  EXPECT_EQ(ToString(h.node(3).adapter.GetObj(40)), "new-40");
+  EXPECT_EQ(h.node(3).cm.latest_root(), root);
+}
+
+TEST(StateTransfer, DiscoveryRequiresFPlusOneAgreement) {
+  StateTransferHarness h(4);
+  h.SetOnAll(0, 3, 7, "agreed");
+  Digest root = h.CheckpointAll(0, 3, 20);
+  (void)root;
+  // Node 3 discovers the latest checkpoint without being told the target.
+  h.node(3).st.Start(0, Digest());
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return h.node(3).done; },
+                                   10 * kSecond));
+  EXPECT_EQ(h.node(3).done_seq, 20u);
+  EXPECT_EQ(ToString(h.node(3).adapter.GetObj(7)), "agreed");
+}
+
+TEST(StateTransfer, ByzantineDataIsRejectedAndRefetched) {
+  StateTransferHarness h(4);
+  h.SetOnAll(0, 3, 5, "truth");
+  Digest root = h.CheckpointAll(0, 3, 30);
+
+  // A network adversary corrupts DATA payloads from node 0 only.
+  h.sim().network().SetInterceptor(
+      [](NodeId from, NodeId /*to*/, Bytes& payload) {
+        if (from == 0 && !payload.empty() && payload[0] == 6 /* kData */ &&
+            payload.size() > 30) {
+          payload[payload.size() - 5] ^= 0xff;
+        }
+        return true;
+      });
+  h.node(3).st.Start(30, root);
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return h.node(3).done; },
+                                   30 * kSecond));
+  // Digest verification rejected the tampered values; retries fetched from
+  // honest nodes and the final state is correct.
+  EXPECT_EQ(ToString(h.node(3).adapter.GetObj(5)), "truth");
+  EXPECT_EQ(h.node(3).cm.latest_root(), root);
+}
+
+TEST(StateTransfer, LocalSourceAvoidsNetworkFetches) {
+  StateTransferHarness h(4);
+  h.SetOnAll(0, 3, 11, "have-locally");
+  Digest root = h.CheckpointAll(0, 3, 40);
+
+  // Node 3 is clean but holds a saved copy of the right value on "disk".
+  Bytes value = h.node(0).adapter.GetObj(11);
+  h.node(3).st.SetLocalSource(
+      [&](size_t leaf, const Digest& expected) -> std::optional<Bytes> {
+        if (leaf == CheckpointManager::LeafForObject(11) &&
+            Digest::Of(value) == expected) {
+          return value;
+        }
+        return std::nullopt;
+      });
+  h.node(3).st.Start(40, root);
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return h.node(3).done; },
+                                   10 * kSecond));
+  EXPECT_EQ(h.node(3).st.leaves_from_local_source(), 1u);
+  EXPECT_EQ(h.node(3).st.leaves_fetched(), 1u);  // only the protocol leaf
+  EXPECT_EQ(ToString(h.node(3).adapter.GetObj(11)), "have-locally");
+}
+
+TEST(StateTransfer, SurvivesMessageLoss) {
+  StateTransferHarness h(4, 99);
+  for (uint32_t slot = 0; slot < 64; ++slot) {
+    h.SetOnAll(0, 3, slot, "v" + std::to_string(slot));
+  }
+  Digest root = h.CheckpointAll(0, 3, 50);
+  h.sim().network().SetDropProbability(0.15);
+  h.node(3).st.Start(50, root);
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return h.node(3).done; },
+                                   120 * kSecond));
+  EXPECT_EQ(h.node(3).cm.latest_root(), root);
+}
+
+TEST(StateTransfer, ServingCanBeDisabled) {
+  StateTransferHarness h(4);
+  h.SetOnAll(0, 3, 2, "x");
+  Digest root = h.CheckpointAll(0, 3, 60);
+  // Only node 1 serves; 0 and 2 are mid-rebuild.
+  h.node(0).st.SetServing(false);
+  h.node(2).st.SetServing(false);
+  h.node(3).st.Start(60, root);
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return h.node(3).done; },
+                                   60 * kSecond));
+  EXPECT_EQ(h.node(3).cm.latest_root(), root);
+}
+
+TEST(StateTransfer, FetchEverythingModeTransfersAllLeaves) {
+  StateTransferHarness h(4);
+  // Even with identical state, the flat ablation fetches every leaf.
+  StateTransfer::Options flat;
+  flat.fetch_everything = true;
+  StateTransferHarness::Node flat_node(&h.sim(), h.config_, 7);
+  StateTransfer st(&h.sim(), h.config_, 7, &flat_node.cm, flat);
+  st.SetSender([&](NodeId to, const Bytes& payload) {
+    h.sim().network().Send(7, to, payload);
+  });
+  bool done = false;
+  st.SetDone([&](SeqNum, const Digest&) { done = true; });
+  // Register a node that routes to this transfer instance.
+  struct Router : SimNode {
+    StateTransfer* target;
+    void OnMessage(NodeId from, const Bytes& payload) override {
+      target->HandleMessage(from, payload);
+    }
+  };
+  Router router;
+  router.target = &st;
+  h.sim().RemoveNode(7);
+  h.sim().AddNode(7, &router);
+
+  h.SetOnAll(0, 3, 1, "flat");
+  Digest root = h.CheckpointAll(0, 3, 70);
+  st.Start(70, root);
+  ASSERT_TRUE(h.sim().RunUntilTrue([&] { return done; }, 120 * kSecond));
+  EXPECT_EQ(st.leaves_fetched(), kSlots + 1);
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,130 @@
+// Tests of the workload generators (Andrew, micro-ops, fault scenarios).
+#include <gtest/gtest.h>
+
+#include "src/basefs/basefs_group.h"
+#include "src/basefs/fs_session.h"
+#include "src/workload/andrew.h"
+#include "src/workload/fault_injector.h"
+#include "src/workload/micro_ops.h"
+
+namespace bftbase {
+namespace {
+
+ServiceGroup::Params WlParams(uint64_t seed = 97) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 32;
+  params.config.log_window = 64;
+  params.seed = seed;
+  return params;
+}
+
+AndrewConfig SmallAndrew() {
+  AndrewConfig config;
+  config.directories = 3;
+  config.files_per_directory = 3;
+  config.file_size = 2048;
+  return config;
+}
+
+TEST(Workload, AndrewOnPlainBaseline) {
+  Simulation sim(11);
+  PlainNfsServer server(&sim, 50, MakeFileSystem(FsVendor::kLinear, &sim));
+  PlainFsSession fs(&sim, 60, 50);
+  AndrewResult result = RunAndrewBenchmark(fs, sim, SmallAndrew());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.phases.size(), 5u);
+  EXPECT_GT(result.total_us, 0);
+  EXPECT_EQ(result.logical_bytes, 3u * 3u * 2048u);
+  for (const auto& phase : result.phases) {
+    EXPECT_GT(phase.elapsed_us, 0) << phase.name;
+    EXPECT_GT(phase.operations, 0u) << phase.name;
+  }
+}
+
+TEST(Workload, AndrewOnReplicatedService) {
+  auto group = MakeBasefsGroup(WlParams(), {FsVendor::kLinear}, 256);
+  ReplicatedFsSession fs(group.get(), 0);
+  AndrewResult result = RunAndrewBenchmark(fs, group->sim(), SmallAndrew());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.phases.size(), 5u);
+}
+
+TEST(Workload, AndrewReplicatedVsBaselineSameLogicalWork) {
+  // Both runs must issue the same operation counts; only elapsed time may
+  // differ (that difference IS the experiment E1 result).
+  Simulation sim(13);
+  PlainNfsServer server(&sim, 50, MakeFileSystem(FsVendor::kLinear, &sim));
+  PlainFsSession plain(&sim, 60, 50);
+  AndrewResult base = RunAndrewBenchmark(plain, sim, SmallAndrew());
+  ASSERT_TRUE(base.ok) << base.error;
+
+  auto group = MakeBasefsGroup(WlParams(13), {FsVendor::kLinear}, 256);
+  ReplicatedFsSession fs(group.get(), 0);
+  AndrewResult replicated =
+      RunAndrewBenchmark(fs, group->sim(), SmallAndrew());
+  ASSERT_TRUE(replicated.ok) << replicated.error;
+
+  EXPECT_EQ(base.total_operations, replicated.total_operations);
+  EXPECT_EQ(base.logical_bytes, replicated.logical_bytes);
+  // Replication costs something; the baseline must be faster.
+  EXPECT_GT(replicated.total_us, base.total_us);
+}
+
+TEST(Workload, MicroOpsOnReplicatedService) {
+  auto group = MakeBasefsGroup(WlParams(17), {FsVendor::kLinear}, 256);
+  ReplicatedFsSession fs(group.get(), 0);
+  MicroOpsResult result = RunMicroOps(fs, group->sim(), 10);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_NE(result.Op("write-4k"), nullptr);
+  ASSERT_NE(result.Op("read-4k"), nullptr);
+  // Reads use the tentative fast path: cheaper than ordered writes.
+  EXPECT_LT(result.Op("read-4k")->mean_us, result.Op("write-4k")->mean_us);
+}
+
+TEST(Workload, FaultScenarioCrashKeepsServiceAvailable) {
+  auto group = MakeBasefsGroup(WlParams(19), {FsVendor::kLinear}, 256);
+  ReplicatedFsSession fs(group.get(), 0);
+  FaultScenarioConfig config;
+  config.operations = 40;
+  config.schedule.push_back(
+      FaultEvent{500 * kMillisecond, FaultKind::kCrashRestart, 2,
+                 5 * kSecond});
+  FaultScenarioResult result = RunFaultScenario(*group, fs, config);
+  EXPECT_EQ(result.attempted, 40);
+  EXPECT_EQ(result.succeeded, 40);
+  EXPECT_FALSE(result.wrong_result_observed);
+}
+
+TEST(Workload, FaultScenarioByzantineRepliesNeverFoolClient) {
+  auto group = MakeBasefsGroup(WlParams(23), {FsVendor::kLinear}, 256);
+  ReplicatedFsSession fs(group.get(), 0);
+  FaultScenarioConfig config;
+  config.operations = 40;
+  config.schedule.push_back(FaultEvent{100 * kMillisecond,
+                                       FaultKind::kByzantineReplies, 1,
+                                       30 * kSecond});
+  FaultScenarioResult result = RunFaultScenario(*group, fs, config);
+  EXPECT_EQ(result.succeeded, result.attempted);
+  EXPECT_FALSE(result.wrong_result_observed);
+}
+
+TEST(Workload, FaultScenarioCorruptionRepairedByRecovery) {
+  auto group = MakeBasefsGroup(WlParams(29), {FsVendor::kLinear, FsVendor::kTree,
+                                              FsVendor::kLog, FsVendor::kLinear},
+                               256);
+  ReplicatedFsSession fs(group.get(), 0);
+  FaultScenarioConfig config;
+  config.operations = 60;
+  config.schedule.push_back(
+      FaultEvent{200 * kMillisecond, FaultKind::kCorruptState, 3, 0});
+  config.schedule.push_back(
+      FaultEvent{400 * kMillisecond, FaultKind::kProactiveRecovery, 3, 0});
+  FaultScenarioResult result = RunFaultScenario(*group, fs, config);
+  EXPECT_EQ(result.succeeded, result.attempted);
+  EXPECT_FALSE(result.wrong_result_observed);
+  EXPECT_GE(result.recoveries, 1u);
+}
+
+}  // namespace
+}  // namespace bftbase
