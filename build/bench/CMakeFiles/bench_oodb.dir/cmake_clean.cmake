@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oodb.dir/bench_oodb.cc.o"
+  "CMakeFiles/bench_oodb.dir/bench_oodb.cc.o.d"
+  "bench_oodb"
+  "bench_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_ablation.dir/bench_protocol_ablation.cc.o"
+  "CMakeFiles/bench_protocol_ablation.dir/bench_protocol_ablation.cc.o.d"
+  "bench_protocol_ablation"
+  "bench_protocol_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

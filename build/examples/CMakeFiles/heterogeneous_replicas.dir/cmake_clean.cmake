@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_replicas.dir/heterogeneous_replicas.cpp.o"
+  "CMakeFiles/heterogeneous_replicas.dir/heterogeneous_replicas.cpp.o.d"
+  "heterogeneous_replicas"
+  "heterogeneous_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

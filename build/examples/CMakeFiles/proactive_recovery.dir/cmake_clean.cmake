@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_recovery.dir/proactive_recovery.cpp.o"
+  "CMakeFiles/proactive_recovery.dir/proactive_recovery.cpp.o.d"
+  "proactive_recovery"
+  "proactive_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

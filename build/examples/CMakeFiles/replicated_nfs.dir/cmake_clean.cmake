@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_nfs.dir/replicated_nfs.cpp.o"
+  "CMakeFiles/replicated_nfs.dir/replicated_nfs.cpp.o.d"
+  "replicated_nfs"
+  "replicated_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_oodb.dir/replicated_oodb.cpp.o"
+  "CMakeFiles/replicated_oodb.dir/replicated_oodb.cpp.o.d"
+  "replicated_oodb"
+  "replicated_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

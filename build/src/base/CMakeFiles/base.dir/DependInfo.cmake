@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/checkpoint_manager.cc" "src/base/CMakeFiles/base.dir/checkpoint_manager.cc.o" "gcc" "src/base/CMakeFiles/base.dir/checkpoint_manager.cc.o.d"
+  "/root/repo/src/base/kv_adapter.cc" "src/base/CMakeFiles/base.dir/kv_adapter.cc.o" "gcc" "src/base/CMakeFiles/base.dir/kv_adapter.cc.o.d"
+  "/root/repo/src/base/partition_tree.cc" "src/base/CMakeFiles/base.dir/partition_tree.cc.o" "gcc" "src/base/CMakeFiles/base.dir/partition_tree.cc.o.d"
+  "/root/repo/src/base/replica_service.cc" "src/base/CMakeFiles/base.dir/replica_service.cc.o" "gcc" "src/base/CMakeFiles/base.dir/replica_service.cc.o.d"
+  "/root/repo/src/base/service_group.cc" "src/base/CMakeFiles/base.dir/service_group.cc.o" "gcc" "src/base/CMakeFiles/base.dir/service_group.cc.o.d"
+  "/root/repo/src/base/state_transfer.cc" "src/base/CMakeFiles/base.dir/state_transfer.cc.o" "gcc" "src/base/CMakeFiles/base.dir/state_transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/bft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base.dir/checkpoint_manager.cc.o"
+  "CMakeFiles/base.dir/checkpoint_manager.cc.o.d"
+  "CMakeFiles/base.dir/kv_adapter.cc.o"
+  "CMakeFiles/base.dir/kv_adapter.cc.o.d"
+  "CMakeFiles/base.dir/partition_tree.cc.o"
+  "CMakeFiles/base.dir/partition_tree.cc.o.d"
+  "CMakeFiles/base.dir/replica_service.cc.o"
+  "CMakeFiles/base.dir/replica_service.cc.o.d"
+  "CMakeFiles/base.dir/service_group.cc.o"
+  "CMakeFiles/base.dir/service_group.cc.o.d"
+  "CMakeFiles/base.dir/state_transfer.cc.o"
+  "CMakeFiles/base.dir/state_transfer.cc.o.d"
+  "libbase.a"
+  "libbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

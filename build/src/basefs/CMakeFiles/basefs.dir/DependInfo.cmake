@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/basefs/abstract_spec.cc" "src/basefs/CMakeFiles/basefs.dir/abstract_spec.cc.o" "gcc" "src/basefs/CMakeFiles/basefs.dir/abstract_spec.cc.o.d"
+  "/root/repo/src/basefs/basefs_group.cc" "src/basefs/CMakeFiles/basefs.dir/basefs_group.cc.o" "gcc" "src/basefs/CMakeFiles/basefs.dir/basefs_group.cc.o.d"
+  "/root/repo/src/basefs/conformance_wrapper.cc" "src/basefs/CMakeFiles/basefs.dir/conformance_wrapper.cc.o" "gcc" "src/basefs/CMakeFiles/basefs.dir/conformance_wrapper.cc.o.d"
+  "/root/repo/src/basefs/fs_session.cc" "src/basefs/CMakeFiles/basefs.dir/fs_session.cc.o" "gcc" "src/basefs/CMakeFiles/basefs.dir/fs_session.cc.o.d"
+  "/root/repo/src/basefs/path.cc" "src/basefs/CMakeFiles/basefs.dir/path.cc.o" "gcc" "src/basefs/CMakeFiles/basefs.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

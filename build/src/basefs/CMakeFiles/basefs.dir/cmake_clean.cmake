@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basefs.dir/abstract_spec.cc.o"
+  "CMakeFiles/basefs.dir/abstract_spec.cc.o.d"
+  "CMakeFiles/basefs.dir/basefs_group.cc.o"
+  "CMakeFiles/basefs.dir/basefs_group.cc.o.d"
+  "CMakeFiles/basefs.dir/conformance_wrapper.cc.o"
+  "CMakeFiles/basefs.dir/conformance_wrapper.cc.o.d"
+  "CMakeFiles/basefs.dir/fs_session.cc.o"
+  "CMakeFiles/basefs.dir/fs_session.cc.o.d"
+  "CMakeFiles/basefs.dir/path.cc.o"
+  "CMakeFiles/basefs.dir/path.cc.o.d"
+  "libbasefs.a"
+  "libbasefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bft/channel.cc" "src/bft/CMakeFiles/bft.dir/channel.cc.o" "gcc" "src/bft/CMakeFiles/bft.dir/channel.cc.o.d"
+  "/root/repo/src/bft/client.cc" "src/bft/CMakeFiles/bft.dir/client.cc.o" "gcc" "src/bft/CMakeFiles/bft.dir/client.cc.o.d"
+  "/root/repo/src/bft/message.cc" "src/bft/CMakeFiles/bft.dir/message.cc.o" "gcc" "src/bft/CMakeFiles/bft.dir/message.cc.o.d"
+  "/root/repo/src/bft/replica.cc" "src/bft/CMakeFiles/bft.dir/replica.cc.o" "gcc" "src/bft/CMakeFiles/bft.dir/replica.cc.o.d"
+  "/root/repo/src/bft/replica_view_change.cc" "src/bft/CMakeFiles/bft.dir/replica_view_change.cc.o" "gcc" "src/bft/CMakeFiles/bft.dir/replica_view_change.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

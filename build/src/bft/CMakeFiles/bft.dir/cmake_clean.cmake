@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft.dir/channel.cc.o"
+  "CMakeFiles/bft.dir/channel.cc.o.d"
+  "CMakeFiles/bft.dir/client.cc.o"
+  "CMakeFiles/bft.dir/client.cc.o.d"
+  "CMakeFiles/bft.dir/message.cc.o"
+  "CMakeFiles/bft.dir/message.cc.o.d"
+  "CMakeFiles/bft.dir/replica.cc.o"
+  "CMakeFiles/bft.dir/replica.cc.o.d"
+  "CMakeFiles/bft.dir/replica_view_change.cc.o"
+  "CMakeFiles/bft.dir/replica_view_change.cc.o.d"
+  "libbft.a"
+  "libbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto.dir/hmac.cc.o"
+  "CMakeFiles/crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/crypto.dir/sha256.cc.o"
+  "CMakeFiles/crypto.dir/sha256.cc.o.d"
+  "libcrypto.a"
+  "libcrypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/linear_fs.cc" "src/fs/CMakeFiles/fs.dir/linear_fs.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/linear_fs.cc.o.d"
+  "/root/repo/src/fs/log_fs.cc" "src/fs/CMakeFiles/fs.dir/log_fs.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/log_fs.cc.o.d"
+  "/root/repo/src/fs/tree_fs.cc" "src/fs/CMakeFiles/fs.dir/tree_fs.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/tree_fs.cc.o.d"
+  "/root/repo/src/fs/types.cc" "src/fs/CMakeFiles/fs.dir/types.cc.o" "gcc" "src/fs/CMakeFiles/fs.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs.dir/linear_fs.cc.o"
+  "CMakeFiles/fs.dir/linear_fs.cc.o.d"
+  "CMakeFiles/fs.dir/log_fs.cc.o"
+  "CMakeFiles/fs.dir/log_fs.cc.o.d"
+  "CMakeFiles/fs.dir/tree_fs.cc.o"
+  "CMakeFiles/fs.dir/tree_fs.cc.o.d"
+  "CMakeFiles/fs.dir/types.cc.o"
+  "CMakeFiles/fs.dir/types.cc.o.d"
+  "libfs.a"
+  "libfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

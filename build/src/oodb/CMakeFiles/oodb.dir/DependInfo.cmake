@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oodb/object_db.cc" "src/oodb/CMakeFiles/oodb.dir/object_db.cc.o" "gcc" "src/oodb/CMakeFiles/oodb.dir/object_db.cc.o.d"
+  "/root/repo/src/oodb/oodb_session.cc" "src/oodb/CMakeFiles/oodb.dir/oodb_session.cc.o" "gcc" "src/oodb/CMakeFiles/oodb.dir/oodb_session.cc.o.d"
+  "/root/repo/src/oodb/oodb_spec.cc" "src/oodb/CMakeFiles/oodb.dir/oodb_spec.cc.o" "gcc" "src/oodb/CMakeFiles/oodb.dir/oodb_spec.cc.o.d"
+  "/root/repo/src/oodb/oodb_wrapper.cc" "src/oodb/CMakeFiles/oodb.dir/oodb_wrapper.cc.o" "gcc" "src/oodb/CMakeFiles/oodb.dir/oodb_wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/basefs/CMakeFiles/basefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

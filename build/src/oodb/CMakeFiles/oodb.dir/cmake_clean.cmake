@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb.dir/object_db.cc.o"
+  "CMakeFiles/oodb.dir/object_db.cc.o.d"
+  "CMakeFiles/oodb.dir/oodb_session.cc.o"
+  "CMakeFiles/oodb.dir/oodb_session.cc.o.d"
+  "CMakeFiles/oodb.dir/oodb_spec.cc.o"
+  "CMakeFiles/oodb.dir/oodb_spec.cc.o.d"
+  "CMakeFiles/oodb.dir/oodb_wrapper.cc.o"
+  "CMakeFiles/oodb.dir/oodb_wrapper.cc.o.d"
+  "liboodb.a"
+  "liboodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

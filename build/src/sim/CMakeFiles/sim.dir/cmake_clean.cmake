@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/network.cc.o"
+  "CMakeFiles/sim.dir/network.cc.o.d"
+  "CMakeFiles/sim.dir/simulation.cc.o"
+  "CMakeFiles/sim.dir/simulation.cc.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

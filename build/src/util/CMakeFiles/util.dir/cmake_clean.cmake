@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util.dir/bytes.cc.o"
+  "CMakeFiles/util.dir/bytes.cc.o.d"
+  "CMakeFiles/util.dir/log.cc.o"
+  "CMakeFiles/util.dir/log.cc.o.d"
+  "CMakeFiles/util.dir/status.cc.o"
+  "CMakeFiles/util.dir/status.cc.o.d"
+  "libutil.a"
+  "libutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

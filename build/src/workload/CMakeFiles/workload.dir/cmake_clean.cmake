@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload.dir/andrew.cc.o"
+  "CMakeFiles/workload.dir/andrew.cc.o.d"
+  "CMakeFiles/workload.dir/fault_injector.cc.o"
+  "CMakeFiles/workload.dir/fault_injector.cc.o.d"
+  "CMakeFiles/workload.dir/micro_ops.cc.o"
+  "CMakeFiles/workload.dir/micro_ops.cc.o.d"
+  "libworkload.a"
+  "libworkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

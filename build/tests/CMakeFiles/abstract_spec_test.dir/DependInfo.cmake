@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abstract_spec_test.cc" "tests/CMakeFiles/abstract_spec_test.dir/abstract_spec_test.cc.o" "gcc" "tests/CMakeFiles/abstract_spec_test.dir/abstract_spec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/basefs/CMakeFiles/basefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

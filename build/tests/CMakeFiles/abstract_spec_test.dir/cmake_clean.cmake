@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_spec_test.dir/abstract_spec_test.cc.o"
+  "CMakeFiles/abstract_spec_test.dir/abstract_spec_test.cc.o.d"
+  "abstract_spec_test"
+  "abstract_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

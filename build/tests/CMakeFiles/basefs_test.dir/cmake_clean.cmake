@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basefs_test.dir/basefs_test.cc.o"
+  "CMakeFiles/basefs_test.dir/basefs_test.cc.o.d"
+  "basefs_test"
+  "basefs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_protocol_test.dir/bft_protocol_test.cc.o"
+  "CMakeFiles/bft_protocol_test.dir/bft_protocol_test.cc.o.d"
+  "bft_protocol_test"
+  "bft_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_manager_test.dir/checkpoint_manager_test.cc.o"
+  "CMakeFiles/checkpoint_manager_test.dir/checkpoint_manager_test.cc.o.d"
+  "checkpoint_manager_test"
+  "checkpoint_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

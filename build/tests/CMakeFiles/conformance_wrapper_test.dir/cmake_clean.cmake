@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_wrapper_test.dir/conformance_wrapper_test.cc.o"
+  "CMakeFiles/conformance_wrapper_test.dir/conformance_wrapper_test.cc.o.d"
+  "conformance_wrapper_test"
+  "conformance_wrapper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_service_test.dir/replica_service_test.cc.o"
+  "CMakeFiles/replica_service_test.dir/replica_service_test.cc.o.d"
+  "replica_service_test"
+  "replica_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_property_test.dir/wrapper_property_test.cc.o"
+  "CMakeFiles/wrapper_property_test.dir/wrapper_property_test.cc.o.d"
+  "wrapper_property_test"
+  "wrapper_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
