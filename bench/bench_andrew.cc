@@ -83,16 +83,22 @@ int main(int argc, char** argv) {
   }
 
   Table table({"phase", "NFS (ms)", "BASEFS (ms)", "BASEFS no-PR (ms)",
-               "overhead"});
+               "overhead", "msgs dlvd", "MB dlvd"});
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
   for (size_t i = 0; i < baseline.phases.size(); ++i) {
     const auto& base_phase = baseline.phases[i];
     const auto& repl_phase = replicated.phases[i];
     const auto& nopr_phase = no_recovery.phases[i];
+    total_messages += repl_phase.messages_delivered;
+    total_bytes += repl_phase.bytes_delivered;
     table.AddRow({base_phase.name, FormatMs(base_phase.elapsed_us),
                   FormatMs(repl_phase.elapsed_us),
                   FormatMs(nopr_phase.elapsed_us),
                   FormatRatio(static_cast<double>(repl_phase.elapsed_us) /
-                              static_cast<double>(base_phase.elapsed_us))});
+                              static_cast<double>(base_phase.elapsed_us)),
+                  FormatCount(repl_phase.messages_delivered),
+                  FormatMb(repl_phase.bytes_delivered)});
   }
   double overhead = static_cast<double>(replicated.total_us) /
                         static_cast<double>(baseline.total_us) -
@@ -100,7 +106,8 @@ int main(int argc, char** argv) {
   table.AddRow({"TOTAL", FormatMs(baseline.total_us),
                 FormatMs(replicated.total_us),
                 FormatMs(no_recovery.total_us),
-                FormatPercent(overhead)});
+                FormatPercent(overhead), FormatCount(total_messages),
+                FormatMb(total_bytes)});
   table.Print();
 
   std::printf("\nmeasured overhead with Tv = 17 min: %s"

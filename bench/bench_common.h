@@ -93,6 +93,13 @@ inline std::string FormatPercent(double r) {
 
 inline std::string FormatCount(uint64_t n) { return std::to_string(n); }
 
+inline std::string FormatMb(uint64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                static_cast<double>(bytes) / (1 << 20));
+  return buf;
+}
+
 }  // namespace bftbase
 
 #endif  // BENCH_BENCH_COMMON_H_

@@ -68,7 +68,7 @@ TransferResult RunTransfer(size_t dirty_objects, bool hierarchical,
   }
 
   group.service(3).state_transfer().ResetCounters();
-  uint64_t bytes_before = group.sim().network().bytes_sent();
+  uint64_t bytes_before = group.sim().network().bytes_delivered();
   (void)bytes_before;
   group.sim().network().Heal(3);
   SimTime heal_time = group.sim().Now();

@@ -39,9 +39,12 @@ int main() {
   auto final = group.Invoke(KvAdapter::EncodeGet(7));
   std::printf("GET slot 7    -> %s\n", ToString(*final).c_str());
 
-  std::printf("\nvirtual time elapsed: %lld us, %llu protocol messages\n",
+  std::printf("\nvirtual time elapsed: %lld us, %llu protocol messages "
+              "delivered (%llu dropped at the isolated replica)\n",
               static_cast<long long>(group.sim().Now()),
               static_cast<unsigned long long>(
-                  group.sim().network().messages_sent()));
+                  group.sim().network().messages_delivered()),
+              static_cast<unsigned long long>(
+                  group.sim().network().messages_dropped()));
   return 0;
 }

@@ -47,11 +47,11 @@ int main() {
   std::printf("\n== protocol statistics ==\n");
   std::printf("virtual time: %.2f ms\n",
               static_cast<double>(group->sim().Now()) / kMillisecond);
-  std::printf("messages sent: %llu (%llu bytes)\n",
+  std::printf("messages delivered: %llu (%llu bytes)\n",
               static_cast<unsigned long long>(
-                  group->sim().network().messages_sent()),
+                  group->sim().network().messages_delivered()),
               static_cast<unsigned long long>(
-                  group->sim().network().bytes_sent()));
+                  group->sim().network().bytes_delivered()));
   for (int r = 0; r < group->replica_count(); ++r) {
     std::printf("replica %d: view=%llu executed=%llu stable-checkpoint=%llu\n",
                 r, static_cast<unsigned long long>(group->replica(r).view()),

@@ -40,6 +40,17 @@ Result<Bytes> ServiceGroup::Invoke(Bytes op, bool read_only, SimTime timeout) {
   return client(0).InvokeSync(std::move(op), read_only, timeout);
 }
 
+InvariantAuditor& ServiceGroup::EnableAudit() {
+  if (!auditor_) {
+    auditor_ = std::make_unique<InvariantAuditor>();
+    for (auto& replica : replicas_) {
+      auditor_->Attach(replica.get());
+    }
+    sim_->SetStepObserver([auditor = auditor_.get()] { auditor->CheckNow(); });
+  }
+  return *auditor_;
+}
+
 void ServiceGroup::EnableProactiveRecovery(SimTime period) {
   const int n = params_.config.n();
   for (int i = 0; i < n; ++i) {

@@ -16,6 +16,7 @@
 #include "src/base/adapter.h"
 #include "src/base/replica_service.h"
 #include "src/bft/client.h"
+#include "src/bft/invariant_auditor.h"
 #include "src/bft/replica.h"
 #include "src/crypto/hmac.h"
 #include "src/sim/simulation.h"
@@ -57,6 +58,16 @@ class ServiceGroup {
   Result<Bytes> Invoke(Bytes op, bool read_only = false,
                        SimTime timeout = 60 * kSecond);
 
+  // Attaches an InvariantAuditor to every replica and registers it as the
+  // simulation's step observer, so PBFT safety invariants are re-checked
+  // after every simulation event. Idempotent; returns the auditor.
+  InvariantAuditor& EnableAudit();
+  InvariantAuditor* auditor() { return auditor_.get(); }
+
+  // Enables the deterministic event trace (sim().trace()) — convenience so
+  // tests can do MakeGroup()->EnableTrace() in one line.
+  void EnableTrace() { sim_->trace().Enable(); }
+
   // Arms staggered proactive-recovery watchdogs: replica i first recovers at
   // (i+1) * period / n, then every `period` (so at most one replica is
   // recovering at a time when period >> recovery duration).
@@ -77,6 +88,7 @@ class ServiceGroup {
   std::vector<std::unique_ptr<ReplicaService>> services_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<InvariantAuditor> auditor_;
 };
 
 }  // namespace bftbase

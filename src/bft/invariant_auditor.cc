@@ -1,0 +1,153 @@
+#include "src/bft/invariant_auditor.h"
+
+#include <sstream>
+
+namespace bftbase {
+
+namespace {
+
+std::string KeyToString(SeqNum seq) {
+  std::ostringstream os;
+  os << "seq " << seq;
+  return os.str();
+}
+
+std::string KeyToString(const std::pair<ViewNum, SeqNum>& key) {
+  std::ostringstream os;
+  os << "view " << key.first << " seq " << key.second;
+  return os.str();
+}
+
+}  // namespace
+
+void InvariantAuditor::Attach(Replica* replica) {
+  replicas_.push_back(replica);
+  replica->SetObserver(this);
+}
+
+void InvariantAuditor::MarkFaulty(NodeId replica) { faulty_.insert(replica); }
+
+void InvariantAuditor::AddViolation(std::string message) {
+  ++violation_count_;
+  if (violations_.size() < kMaxStoredViolations) {
+    violations_.push_back(std::move(message));
+  }
+}
+
+template <typename Key>
+bool InvariantAuditor::Note(std::map<Key, Digest>& map, const Key& key,
+                            const Digest& digest, NodeId replica,
+                            const char* what) {
+  auto [it, inserted] = map.emplace(key, digest);
+  if (inserted || it->second == digest) {
+    return true;
+  }
+  std::ostringstream os;
+  os << what << " divergence at " << KeyToString(key) << ": replica "
+     << replica << " has " << digest.Hex() << ", group agreed on "
+     << it->second.Hex();
+  AddViolation(os.str());
+  return false;
+}
+
+void InvariantAuditor::OnCommitted(NodeId replica, ViewNum view, SeqNum seq,
+                                   const Digest& digest) {
+  if (IsFaulty(replica)) {
+    return;
+  }
+  Note(committed_by_view_seq_, {view, seq}, digest, replica, "committed");
+  // Stronger cross-view agreement: a seq commits the same batch in every
+  // view (the view-change protocol carries prepared certificates forward).
+  Note(committed_by_seq_, seq, digest, replica, "committed (cross-view)");
+}
+
+void InvariantAuditor::OnExecuted(NodeId replica, SeqNum seq,
+                                  const Digest& digest) {
+  if (IsFaulty(replica)) {
+    return;
+  }
+  Note(executed_by_seq_, seq, digest, replica, "executed batch");
+  auto [it, inserted] = executed_watermark_.emplace(replica, seq);
+  if (!inserted) {
+    if (seq <= it->second) {
+      std::ostringstream os;
+      os << "replica " << replica << " executed seq " << seq
+         << " at or below its own watermark " << it->second
+         << " (double or out-of-order execution)";
+      AddViolation(os.str());
+    }
+    it->second = std::max(it->second, seq);
+  }
+}
+
+void InvariantAuditor::OnCheckpointTaken(NodeId replica, SeqNum seq,
+                                         const Digest& state_digest,
+                                         const Digest& reply_cache_digest) {
+  if (IsFaulty(replica)) {
+    return;
+  }
+  Note(checkpoint_by_seq_, seq, state_digest, replica, "checkpoint");
+  Note(reply_cache_by_seq_, seq, reply_cache_digest, replica, "reply cache");
+}
+
+void InvariantAuditor::OnCheckpointStable(NodeId replica, SeqNum seq,
+                                          const Digest& digest) {
+  if (IsFaulty(replica)) {
+    return;
+  }
+  Note(stable_by_seq_, seq, digest, replica, "stable checkpoint");
+  // A stable checkpoint carries a 2f+1 quorum, which always contains a
+  // correct replica, so it must match any checkpoint a correct replica took
+  // at that seq.
+  auto it = checkpoint_by_seq_.find(seq);
+  if (it != checkpoint_by_seq_.end() && it->second != digest) {
+    std::ostringstream os;
+    os << "stable checkpoint at seq " << seq << " (" << digest.Hex()
+       << ") contradicts a correct replica's checkpoint (" << it->second.Hex()
+       << ")";
+    AddViolation(os.str());
+  }
+}
+
+void InvariantAuditor::OnRecoveryDone(NodeId replica, SeqNum seq) {
+  // Proactive recovery restores the replica to its latest stable checkpoint
+  // and re-executes the committed suffix through the normal protocol, so
+  // its personal executed watermark legitimately rolls back. The global
+  // executed_by_seq_ map still guards the re-executions: they must produce
+  // the same batch digests as the first time around.
+  executed_watermark_[replica] = seq;
+}
+
+void InvariantAuditor::CheckNow() {
+  ++checks_run_;
+  for (Replica* replica : replicas_) {
+    NodeId id = replica->id();
+    if (IsFaulty(id)) {
+      continue;
+    }
+    for (const auto& [seq, entry] : replica->log().entries()) {
+      if (!entry.pre_prepare.has_value() || entry.digest.IsZero()) {
+        continue;
+      }
+      if (entry.committed) {
+        Note(committed_by_view_seq_, {entry.view, seq}, entry.digest, id,
+             "committed");
+        Note(committed_by_seq_, seq, entry.digest, id,
+             "committed (cross-view)");
+      }
+      // Executed markers are also installed during view changes (for
+      // reproposals at or below last_executed) without an OnExecuted event;
+      // a reproposal whose digest differs from what was actually executed
+      // is a safety violation the event hooks alone would miss.
+      if (entry.executed) {
+        Note(executed_by_seq_, seq, entry.digest, id, "executed batch");
+      }
+    }
+    if (replica->stable_seq() > 0) {
+      Note(stable_by_seq_, replica->stable_seq(), replica->stable_digest(),
+           id, "stable checkpoint");
+    }
+  }
+}
+
+}  // namespace bftbase

@@ -1,0 +1,103 @@
+// Cross-replica safety-invariant auditor.
+//
+// Attached to every replica in a test group (and registered as the
+// simulation's step observer), the auditor asserts PBFT's safety
+// invariants continuously as the protocol runs:
+//
+//   1. Agreement: at most one committed batch digest per (view, seq), and —
+//      stronger, across view changes — at most one per seq.
+//   2. Executed-prefix consistency: every correct replica that executes
+//      sequence number n executes the same batch, and each replica's own
+//      executed sequence numbers only grow.
+//   3. Checkpoint agreement: checkpoints taken at the same seq have equal
+//      state digests, and stable (quorum-certified) checkpoints at the same
+//      seq have equal digests everywhere.
+//   4. Reply-cache agreement: the encoded reply cache (part of the
+//      checkpointed protocol state) hashes identically at every correct
+//      replica for the same checkpoint seq.
+//
+// Replicas under Byzantine fault injection must be excluded with
+// MarkFaulty() — the invariants only bind correct replicas. Violations are
+// collected (not thrown) so a test can run a whole scenario and then assert
+// `violations().empty()`.
+#ifndef SRC_BFT_INVARIANT_AUDITOR_H_
+#define SRC_BFT_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/bft/observer.h"
+#include "src/bft/replica.h"
+
+namespace bftbase {
+
+class InvariantAuditor : public ProtocolObserver {
+ public:
+  // Attaches to `replica` (becomes its observer). The auditor must outlive
+  // the replicas it watches.
+  void Attach(Replica* replica);
+
+  // Excludes a replica from the invariants (it is being driven Byzantine by
+  // the test). Permanent: state it contributed before the mark stays, but
+  // nothing it does afterwards is checked.
+  void MarkFaulty(NodeId replica);
+  bool IsFaulty(NodeId replica) const { return faulty_.count(replica) > 0; }
+
+  // Polling sweep over every attached correct replica's log and checkpoint
+  // state; meant to run after every simulation step (Simulation::
+  // SetStepObserver). Catches divergence that the event hooks alone could
+  // miss (e.g. executed markers installed during a view change).
+  void CheckNow();
+
+  // --- Results -------------------------------------------------------------
+  const std::vector<std::string>& violations() const { return violations_; }
+  uint64_t violation_count() const { return violation_count_; }
+  uint64_t checks_run() const { return checks_run_; }
+
+  // --- ProtocolObserver ----------------------------------------------------
+  void OnCommitted(NodeId replica, ViewNum view, SeqNum seq,
+                   const Digest& digest) override;
+  void OnExecuted(NodeId replica, SeqNum seq, const Digest& digest) override;
+  void OnCheckpointTaken(NodeId replica, SeqNum seq,
+                         const Digest& state_digest,
+                         const Digest& reply_cache_digest) override;
+  void OnCheckpointStable(NodeId replica, SeqNum seq,
+                          const Digest& digest) override;
+  void OnRecoveryDone(NodeId replica, SeqNum seq) override;
+
+ private:
+  void AddViolation(std::string message);
+  // Records `digest` for `key` in `map`; reports a violation if a different
+  // digest is already recorded. Returns false on conflict.
+  template <typename Key>
+  bool Note(std::map<Key, Digest>& map, const Key& key, const Digest& digest,
+            NodeId replica, const char* what);
+
+  std::vector<Replica*> replicas_;
+  std::set<NodeId> faulty_;
+
+  // Agreed history, first-writer-wins; conflicts are violations.
+  std::map<std::pair<ViewNum, SeqNum>, Digest> committed_by_view_seq_;
+  std::map<SeqNum, Digest> committed_by_seq_;
+  std::map<SeqNum, Digest> executed_by_seq_;
+  std::map<SeqNum, Digest> checkpoint_by_seq_;
+  std::map<SeqNum, Digest> reply_cache_by_seq_;
+  std::map<SeqNum, Digest> stable_by_seq_;
+  // Per-replica executed high watermark (monotonicity check).
+  std::map<NodeId, SeqNum> executed_watermark_;
+
+  std::vector<std::string> violations_;
+  uint64_t violation_count_ = 0;
+  uint64_t checks_run_ = 0;
+
+  // Cap on stored violation strings (the count keeps increasing).
+  static constexpr size_t kMaxStoredViolations = 64;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BFT_INVARIANT_AUDITOR_H_

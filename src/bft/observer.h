@@ -1,0 +1,58 @@
+// Protocol-level observation hooks.
+//
+// A ProtocolObserver receives a callback at every externally meaningful
+// replica transition: phase progress (pre-prepare accepted, prepared,
+// committed, executed), checkpoints (taken and stabilized), view changes,
+// proactive recovery and state transfer. The InvariantAuditor implements
+// this interface to cross-check safety invariants across replicas; tests
+// can implement it to wait for specific transitions.
+//
+// All callbacks default to no-ops so implementations override only what
+// they need. Observers must not mutate replica state.
+#ifndef SRC_BFT_OBSERVER_H_
+#define SRC_BFT_OBSERVER_H_
+
+#include "src/bft/config.h"
+#include "src/crypto/digest.h"
+#include "src/sim/simulation.h"
+
+namespace bftbase {
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  // --- Normal-case phases --------------------------------------------------
+  virtual void OnPrePrepareAccepted(NodeId /*replica*/, ViewNum /*view*/,
+                                    SeqNum /*seq*/, const Digest& /*digest*/) {
+  }
+  virtual void OnPrepared(NodeId /*replica*/, ViewNum /*view*/,
+                          SeqNum /*seq*/, const Digest& /*digest*/) {}
+  virtual void OnCommitted(NodeId /*replica*/, ViewNum /*view*/,
+                           SeqNum /*seq*/, const Digest& /*digest*/) {}
+  // `digest` is the batch digest of the executed entry.
+  virtual void OnExecuted(NodeId /*replica*/, SeqNum /*seq*/,
+                          const Digest& /*digest*/) {}
+
+  // --- Checkpoints ---------------------------------------------------------
+  // `reply_cache_digest` covers the encoded reply cache, which is part of
+  // the agreed checkpoint state — correct replicas must agree on it.
+  virtual void OnCheckpointTaken(NodeId /*replica*/, SeqNum /*seq*/,
+                                 const Digest& /*state_digest*/,
+                                 const Digest& /*reply_cache_digest*/) {}
+  virtual void OnCheckpointStable(NodeId /*replica*/, SeqNum /*seq*/,
+                                  const Digest& /*digest*/) {}
+
+  // --- View changes / recovery / state transfer ----------------------------
+  virtual void OnViewChangeStart(NodeId /*replica*/, ViewNum /*target_view*/) {
+  }
+  virtual void OnNewView(NodeId /*replica*/, ViewNum /*view*/) {}
+  virtual void OnRecoveryStart(NodeId /*replica*/) {}
+  virtual void OnRecoveryDone(NodeId /*replica*/, SeqNum /*seq*/) {}
+  virtual void OnStateTransferStart(NodeId /*replica*/, SeqNum /*seq*/) {}
+  virtual void OnStateTransferDone(NodeId /*replica*/, SeqNum /*seq*/) {}
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_BFT_OBSERVER_H_

@@ -8,6 +8,24 @@
 
 namespace bftbase {
 
+namespace {
+constexpr const char kRequestsExecuted[] = "replica.requests_executed";
+constexpr const char kBatchesExecuted[] = "replica.batches_executed";
+constexpr const char kViewChangesStarted[] = "replica.view_changes_started";
+}  // namespace
+
+uint64_t Replica::requests_executed() const {
+  return sim_->metrics().Get(kRequestsExecuted, id_);
+}
+
+uint64_t Replica::batches_executed() const {
+  return sim_->metrics().Get(kBatchesExecuted, id_);
+}
+
+uint64_t Replica::view_changes_started() const {
+  return sim_->metrics().Get(kViewChangesStarted, id_);
+}
+
 Replica::Replica(Simulation* sim, KeyTable* keys, const Config& config,
                  NodeId id, ServiceInterface* service)
     : sim_(sim),
@@ -58,6 +76,23 @@ void Replica::OnNullRequestTimer() {
     entry.pre_prepare = std::move(pp);
     entry.pre_prepare_wire = wire;
     channel_.MulticastReplicas(wire, /*include_self=*/false);
+  }
+  // Re-broadcast our newest unstabilized checkpoint vote. Checkpoint
+  // envelopes are fire-and-forget; if they are lost (partition, drops) no
+  // new checkpoint is ever taken — taking one requires executing past the
+  // window, which requires the lost votes — and the window wedges
+  // permanently. The heartbeat is the natural place to retry, and it runs
+  // on every replica, not just the primary.
+  if (!in_view_change_ && !recovering_ && !fetching_state_) {
+    for (auto it = checkpoint_votes_.rbegin(); it != checkpoint_votes_.rend();
+         ++it) {
+      auto own = it->second.find(id_);
+      if (it->first > stable_seq_ && own != it->second.end() &&
+          !own->second.wire.empty()) {
+        channel_.MulticastReplicas(own->second.wire, /*include_self=*/false);
+        break;
+      }
+    }
   }
   ArmNullRequestTimer();
 }
@@ -139,6 +174,13 @@ void Replica::HandleRequest(const WireMessage& msg, const Bytes& wire) {
       reply.client = request->client;
       reply.replica = id_;
       reply.result = cache_it->second.result;
+      if (corrupt_replies_ && !reply.result.empty()) {
+        // The cache stores the honest result; an active reply-corruption
+        // fault mangles only the outgoing copy (same as SendReply).
+        for (uint8_t& b : reply.result) {
+          b ^= 0x5a;
+        }
+      }
       channel_.Send(request->client,
                     channel_.SealMac(MsgType::kReply, reply.Encode(),
                                      request->client));
@@ -281,6 +323,13 @@ void Replica::HandlePrePrepare(const WireMessage& msg, const Bytes& wire) {
   entry.pre_prepare_wire = wire;  // kept for view-change proofs
   entry.view = entry.pre_prepare->view;
   entry.digest = digest;
+  sim_->trace().Record(TraceEvent::kPrePrepareAccepted, sim_->Now(), id_,
+                       msg.sender, entry.view, entry.pre_prepare->seq,
+                       digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnPrePrepareAccepted(id_, entry.view, entry.pre_prepare->seq,
+                                    digest);
+  }
 
   // Send PREPARE (signed, so it can serve in prepared proofs).
   PrepareMsg prepare;
@@ -358,6 +407,11 @@ void Replica::TryPrepared(SeqNum seq) {
     return;
   }
   entry.prepared = true;
+  sim_->trace().Record(TraceEvent::kPrepared, sim_->Now(), id_, -1,
+                       entry.view, seq, entry.digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnPrepared(id_, entry.view, seq, entry.digest);
+  }
 
   CommitMsg commit;
   commit.view = entry.view;
@@ -380,6 +434,11 @@ void Replica::TryCommitted(SeqNum seq) {
     return;
   }
   entry.committed = true;
+  sim_->trace().Record(TraceEvent::kCommitted, sim_->Now(), id_, -1,
+                       entry.view, seq, entry.digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnCommitted(id_, entry.view, seq, entry.digest);
+  }
   ExecuteReady();
 }
 
@@ -417,13 +476,18 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
     Bytes result = service_->Execute(request->op, request->client, pp.nondet,
                                      /*tentative=*/false);
     last_executed_timestamp_[request->client] = request->timestamp;
-    ++requests_executed_;
+    sim_->metrics().Inc(kRequestsExecuted, id_);
     SendReply(*request, std::move(result), /*tentative=*/false);
     pending_requests_.erase(request->ComputeDigest());
   }
   entry.executed = true;
   last_executed_ = seq;
-  ++batches_executed_;
+  sim_->metrics().Inc(kBatchesExecuted, id_);
+  sim_->trace().Record(TraceEvent::kExecuted, sim_->Now(), id_, -1,
+                       entry.view, seq, entry.digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnExecuted(id_, seq, entry.digest);
+  }
 
   // Progress was made; restart the fault timer (or disarm it if idle).
   if (pending_requests_.empty()) {
@@ -440,6 +504,15 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
 
 void Replica::SendReply(const RequestMsg& request, Bytes result,
                         bool tentative) {
+  // Cache the honest result BEFORE any fault-injection corruption: the reply
+  // cache is part of the agreed checkpoint state (it feeds the checkpoint
+  // digest), so a "Byzantine replies" fault must only affect what goes on
+  // the wire to the client — caching the corrupted bytes would poison this
+  // replica's checkpoints and leave it divergent long after the fault is
+  // cleared.
+  if (!tentative) {
+    reply_cache_[request.client] = CachedReply{request.timestamp, result};
+  }
   if (corrupt_replies_ && !result.empty()) {
     for (uint8_t& b : result) {
       b ^= 0x5a;
@@ -457,9 +530,6 @@ void Replica::SendReply(const RequestMsg& request, Bytes result,
                    static_cast<NodeId>(request.timestamp %
                                        static_cast<uint64_t>(config_.n())) ==
                        id_;
-  if (!tentative) {
-    reply_cache_[request.client] = CachedReply{request.timestamp, result};
-  }
   if (send_full) {
     ReplyMsg full = reply;
     full.result_is_digest = false;
@@ -555,8 +625,15 @@ void Replica::MaybeTakeCheckpoint() {
     return;
   }
   SeqNum seq = last_executed_;
-  service_->SetProtocolState(EncodeReplyCache());
+  Bytes reply_cache_blob = EncodeReplyCache();
+  Digest reply_cache_digest = Digest::Of(reply_cache_blob);
+  service_->SetProtocolState(std::move(reply_cache_blob));
   Digest digest = service_->TakeCheckpoint(seq);
+  sim_->trace().Record(TraceEvent::kCheckpointTaken, sim_->Now(), id_, -1,
+                       seq, 0, digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnCheckpointTaken(id_, seq, digest, reply_cache_digest);
+  }
   BroadcastCheckpointVote(seq, digest);
 }
 
@@ -624,6 +701,11 @@ void Replica::AdoptStableCheckpoint(SeqNum seq, const Digest& digest,
   }
   stable_seq_ = seq;
   stable_digest_ = digest;
+  sim_->trace().Record(TraceEvent::kCheckpointStable, sim_->Now(), id_, -1,
+                       seq, 0, digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnCheckpointStable(id_, seq, digest);
+  }
   if (proof.size() >= static_cast<size_t>(config_.quorum())) {
     stable_proof_ = std::move(proof);
     proofed_stable_seq_ = seq;
@@ -639,6 +721,16 @@ void Replica::AdoptStableCheckpoint(SeqNum seq, const Digest& digest,
     // the checkpointed abstract state instead of replaying the log.
     MaybeStartStateTransfer(seq, digest);
   }
+
+  // The low watermark just advanced, widening the window. A primary that
+  // ran out of window with requests still pending must resume proposing
+  // here — nothing else will: MaybeSendPrePrepare is otherwise only driven
+  // by new requests and executions, both of which may be waiting on exactly
+  // this window advance. Without the kick those requests stall until the
+  // client retransmits (or times the primary out).
+  if (IsPrimary() && !in_view_change_ && !recovering_ && !fetching_state_) {
+    MaybeSendPrePrepare();
+  }
 }
 
 // ---------------------------------------------------------- state transfer
@@ -649,6 +741,11 @@ void Replica::MaybeStartStateTransfer(SeqNum seq, const Digest& digest) {
   }
   LOG_INFO << "replica " << id_ << " starting state transfer to seq " << seq;
   fetching_state_ = true;
+  sim_->trace().Record(TraceEvent::kStateTransferStart, sim_->Now(), id_, -1,
+                       seq, 0, digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnStateTransferStart(id_, seq);
+  }
   service_->StartStateTransfer(seq, digest);
 }
 
@@ -658,6 +755,11 @@ void Replica::OnStateTransferDone(SeqNum seq, const Digest& digest) {
     return;
   }
   fetching_state_ = false;
+  sim_->trace().Record(TraceEvent::kStateTransferDone, sim_->Now(), id_, -1,
+                       seq, 0, digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnStateTransferDone(id_, seq);
+  }
   if (seq > last_executed_) {
     last_executed_ = seq;
     if (next_seq_ <= seq) {
@@ -695,6 +797,10 @@ void Replica::StartProactiveRecovery() {
   LOG_INFO << "replica " << id_ << " proactive recovery: saving and rebooting";
   recovering_ = true;
   recovery_started_at_ = sim_->Now();
+  sim_->trace().Record(TraceEvent::kRecoveryStart, sim_->Now(), id_, -1, 0, 0);
+  if (observer_ != nullptr) {
+    observer_->OnRecoveryStart(id_);
+  }
   fetching_state_ = false;
   DisarmViewChangeTimer();
 
@@ -721,6 +827,11 @@ void Replica::FinishProactiveRecovery(SeqNum seq, const Digest& digest) {
   ++recoveries_completed_;
   LOG_INFO << "replica " << id_ << " recovered to seq " << seq << " in "
            << last_recovery_duration_ / kMillisecond << " ms";
+  sim_->trace().Record(TraceEvent::kRecoveryDone, sim_->Now(), id_, -1, seq,
+                       0, digest.view());
+  if (observer_ != nullptr) {
+    observer_->OnRecoveryDone(id_, seq);
+  }
   last_executed_ = seq;
   stable_seq_ = seq;
   stable_digest_ = digest;

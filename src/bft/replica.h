@@ -16,6 +16,7 @@
 #include "src/bft/config.h"
 #include "src/bft/log.h"
 #include "src/bft/message.h"
+#include "src/bft/observer.h"
 #include "src/bft/service.h"
 #include "src/sim/simulation.h"
 
@@ -48,12 +49,20 @@ class Replica : public SimNode {
   bool IsPrimary() const { return config_.PrimaryOf(view_) == id_; }
   SeqNum last_executed() const { return last_executed_; }
   SeqNum stable_seq() const { return stable_seq_; }
-  uint64_t requests_executed() const { return requests_executed_; }
-  uint64_t batches_executed() const { return batches_executed_; }
-  uint64_t view_changes_started() const { return view_changes_started_; }
+  const Digest& stable_digest() const { return stable_digest_; }
+  const MessageLog& log() const { return log_; }
+  // Protocol counters live in the simulation's MetricsRegistry (keyed by
+  // replica id) so benches can aggregate them; these are typed shortcuts.
+  uint64_t requests_executed() const;
+  uint64_t batches_executed() const;
+  uint64_t view_changes_started() const;
   bool in_view_change() const { return in_view_change_; }
   const Config& config() const { return config_; }
   ServiceInterface* service() { return service_; }
+
+  // Registers an observer for protocol transitions (see observer.h). One
+  // observer per replica; pass nullptr to detach. Not owned.
+  void SetObserver(ProtocolObserver* observer) { observer_ = observer; }
 
   // --- Fault-injection hooks (used by tests and experiment E7) --------------
 
@@ -226,10 +235,8 @@ class Replica : public SimNode {
   bool corrupt_replies_ = false;
   bool equivocate_ = false;
 
-  // Telemetry.
-  uint64_t requests_executed_ = 0;
-  uint64_t batches_executed_ = 0;
-  uint64_t view_changes_started_ = 0;
+  // Observation (not owned; may be null).
+  ProtocolObserver* observer_ = nullptr;
 };
 
 }  // namespace bftbase

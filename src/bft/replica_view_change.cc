@@ -46,7 +46,12 @@ void Replica::StartViewChange(ViewNum target_view) {
   }
   LOG_INFO << "replica " << id_ << " starting view change to view "
            << target_view;
-  ++view_changes_started_;
+  sim_->metrics().Inc("replica.view_changes_started", id_);
+  sim_->trace().Record(TraceEvent::kViewChangeStart, sim_->Now(), id_, -1,
+                       target_view, 0);
+  if (observer_ != nullptr) {
+    observer_->OnViewChangeStart(id_, target_view);
+  }
   in_view_change_ = true;
   view_ = target_view;
   DisarmViewChangeTimer();
@@ -385,6 +390,11 @@ void Replica::EnterNewView(ViewNum target_view, const NewViewPlan& plan,
   LOG_INFO << "replica " << id_ << " enters view " << target_view;
   view_ = target_view;
   in_view_change_ = false;
+  sim_->trace().Record(TraceEvent::kNewView, sim_->Now(), id_, -1,
+                       target_view, 0);
+  if (observer_ != nullptr) {
+    observer_->OnNewView(id_, target_view);
+  }
   view_change_timeout_ = config_.view_change_timeout;
   DisarmViewChangeTimer();
   view_change_votes_.erase(view_change_votes_.begin(),

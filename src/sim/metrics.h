@@ -1,0 +1,93 @@
+// Central metrics registry for the simulation harness.
+//
+// Every layer (network, replicas, state transfer, benches) records counters
+// and histograms here instead of keeping ad-hoc `messages_sent_`-style
+// fields. Counters are keyed by (name, node, tag): `node` is usually a
+// replica or client id and `tag` a message type, so benches can break
+// traffic down per replica and per message kind. Iteration order is
+// deterministic (std::map), which keeps bench tables and trace output
+// reproducible across same-seed runs.
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bftbase {
+
+class MetricsRegistry {
+ public:
+  // Wildcard key components: a counter recorded without a node or tag, and
+  // the value passed to the query helpers to mean "sum over all".
+  static constexpr int kAny = -1;
+
+  // --- Recording -----------------------------------------------------------
+
+  void Inc(std::string_view name, int node = kAny, int tag = kAny,
+           uint64_t delta = 1);
+
+  // Histogram observation (count/sum/min/max plus power-of-two buckets).
+  void Observe(std::string_view name, int64_t value, int node = kAny,
+               int tag = kAny);
+
+  // --- Queries -------------------------------------------------------------
+
+  // Exact counter cell; 0 if never written.
+  uint64_t Get(std::string_view name, int node = kAny, int tag = kAny) const;
+
+  // Sum over every (node, tag) cell under `name`.
+  uint64_t Total(std::string_view name) const;
+  // Sum over all tags for one node / over all nodes for one tag.
+  uint64_t TotalForNode(std::string_view name, int node) const;
+  uint64_t TotalForTag(std::string_view name, int tag) const;
+
+  struct HistogramSnapshot {
+    uint64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    }
+  };
+  // Aggregated over every (node, tag) cell under `name`.
+  HistogramSnapshot Histogram(std::string_view name) const;
+
+  struct CounterRow {
+    std::string name;
+    int node;
+    int tag;
+    uint64_t value;
+  };
+  // Deterministic dump of all counter cells whose name starts with `prefix`
+  // (empty prefix = everything).
+  std::vector<CounterRow> CounterRows(std::string_view prefix = {}) const;
+
+  // --- Reset ---------------------------------------------------------------
+
+  // Clears every metric.
+  void Reset();
+  // Clears metrics whose name starts with `prefix` (so e.g. the network can
+  // reset "net." without erasing replica counters).
+  void ResetPrefix(std::string_view prefix);
+
+ private:
+  struct HistogramCell {
+    uint64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+  using Key = std::pair<int, int>;  // (node, tag)
+
+  std::map<std::string, std::map<Key, uint64_t>, std::less<>> counters_;
+  std::map<std::string, std::map<Key, HistogramCell>, std::less<>> histograms_;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_SIM_METRICS_H_

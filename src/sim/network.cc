@@ -6,25 +6,64 @@
 
 namespace bftbase {
 
+namespace {
+
+constexpr const char kMsgsOffered[] = "net.messages_offered";
+constexpr const char kMsgsDelivered[] = "net.messages_delivered";
+constexpr const char kMsgsDropped[] = "net.messages_dropped";
+constexpr const char kBytesOffered[] = "net.bytes_offered";
+constexpr const char kBytesDelivered[] = "net.bytes_delivered";
+constexpr const char kBytesDropped[] = "net.bytes_dropped";
+
+// The wire envelope's first byte is the MsgType (see Channel::Seal), so the
+// network can label traffic per message kind without parsing. Payloads that
+// don't look like an envelope (unit tests, garbage injection) get tag 0.
+int MessageTag(const Bytes& payload) {
+  if (payload.empty() || payload[0] < 1 || payload[0] > 15) {
+    return 0;
+  }
+  return payload[0];
+}
+
+}  // namespace
+
+void Network::CountDrop(NodeId from, NodeId to, int tag, size_t size) {
+  MetricsRegistry& metrics = sim_->metrics();
+  metrics.Inc(kMsgsDropped, from, tag);
+  metrics.Inc(kBytesDropped, from, tag, size);
+  sim_->trace().Record(TraceEvent::kMsgDrop, sim_->Now(), from, to, size,
+                       static_cast<uint64_t>(tag));
+}
+
 void Network::Send(NodeId from, NodeId to, Bytes payload) {
-  ++messages_sent_;
-  bytes_sent_ += payload.size();
+  // Accounting: every Send() is "offered"; only traffic that survives the
+  // fault checks below counts as "delivered". Counting sent traffic before
+  // the checks (as earlier revisions did) inflates reported bandwidth under
+  // fault injection by exactly the dropped volume.
+  const int tag = MessageTag(payload);
+  MetricsRegistry& metrics = sim_->metrics();
+  metrics.Inc(kMsgsOffered, from, tag);
+  metrics.Inc(kBytesOffered, from, tag, payload.size());
+  sim_->trace().Record(TraceEvent::kMsgSend, sim_->Now(), from, to,
+                       payload.size(), static_cast<uint64_t>(tag), payload);
 
   if (isolated_.count(from) > 0 || isolated_.count(to) > 0 ||
       LinkBlocked(from, to)) {
-    ++messages_dropped_;
+    CountDrop(from, to, tag, payload.size());
     return;
   }
   if (drop_probability_ > 0.0 && sim_->rng().NextBool(drop_probability_)) {
-    ++messages_dropped_;
+    CountDrop(from, to, tag, payload.size());
     return;
   }
   if (interceptor_) {
     if (!interceptor_(from, to, payload)) {
-      ++messages_dropped_;
+      CountDrop(from, to, tag, payload.size());
       return;
     }
   }
+  metrics.Inc(kMsgsDelivered, from, tag);
+  metrics.Inc(kBytesDelivered, from, tag, payload.size());
 
   SimTime latency;
   if (from == to) {
@@ -40,7 +79,7 @@ void Network::Send(NodeId from, NodeId to, Bytes payload) {
   // done; this is what makes MAC/digest computation show up in end-to-end
   // latency.
   SimTime depart = sim_->CurrentHandlerFinishTime();
-  sim_->ScheduleDelivery(depart + latency, to, from, std::move(payload));
+  sim_->ScheduleDelivery(depart + latency, to, from, std::move(payload), tag);
 }
 
 void Network::Multicast(NodeId from, NodeId first, NodeId last,
@@ -65,5 +104,27 @@ void Network::Heal(NodeId node) { isolated_.erase(node); }
 bool Network::LinkBlocked(NodeId a, NodeId b) const {
   return blocked_links_.count({std::min(a, b), std::max(a, b)}) > 0;
 }
+
+uint64_t Network::messages_offered() const {
+  return sim_->metrics().Total(kMsgsOffered);
+}
+
+uint64_t Network::messages_delivered() const {
+  return sim_->metrics().Total(kMsgsDelivered);
+}
+
+uint64_t Network::messages_dropped() const {
+  return sim_->metrics().Total(kMsgsDropped);
+}
+
+uint64_t Network::bytes_offered() const {
+  return sim_->metrics().Total(kBytesOffered);
+}
+
+uint64_t Network::bytes_delivered() const {
+  return sim_->metrics().Total(kBytesDelivered);
+}
+
+void Network::ResetStats() { sim_->metrics().ResetPrefix("net."); }
 
 }  // namespace bftbase

@@ -55,17 +55,23 @@ class Network {
   void SetInterceptor(Interceptor fn) { interceptor_ = std::move(fn); }
 
   // --- Telemetry -----------------------------------------------------------
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  void ResetCounters() {
-    messages_sent_ = 0;
-    messages_dropped_ = 0;
-    bytes_sent_ = 0;
-  }
+  // Counters live in the simulation's MetricsRegistry, keyed by sender node
+  // and message type (first payload byte when it is a valid MsgType).
+  // "Offered" counts every Send() call; "delivered" only messages that
+  // survived isolation/blocked-link/drop/interceptor checks and were
+  // scheduled for delivery; "dropped" is the difference. Offered ==
+  // delivered + dropped always holds.
+  uint64_t messages_offered() const;
+  uint64_t messages_delivered() const;
+  uint64_t messages_dropped() const;
+  uint64_t bytes_offered() const;
+  uint64_t bytes_delivered() const;
+  // Clears the network's metrics (leaves other layers' metrics alone).
+  void ResetStats();
 
  private:
   bool LinkBlocked(NodeId a, NodeId b) const;
+  void CountDrop(NodeId from, NodeId to, int tag, size_t size);
 
   Simulation* sim_;
   std::set<std::pair<NodeId, NodeId>> blocked_links_;  // stored as (min,max)
@@ -73,9 +79,6 @@ class Network {
   double drop_probability_ = 0.0;
   SimTime jitter_us_ = 0;
   Interceptor interceptor_;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
 };
 
 }  // namespace bftbase

@@ -41,11 +41,14 @@ void Simulation::ChargeCpu(SimTime cpu_cost) {
 }
 
 void Simulation::ScheduleDelivery(SimTime when, NodeId to, NodeId from,
-                                  Bytes payload) {
+                                  Bytes payload, int tag) {
   queue_.push(Event{when, next_seq_++, to,
-                    [this, to, from, payload = std::move(payload)]() {
+                    [this, to, from, tag, payload = std::move(payload)]() {
                       SimNode* node = GetNode(to);
                       if (node != nullptr) {
+                        trace_.Record(TraceEvent::kMsgDeliver, now_, from, to,
+                                      payload.size(),
+                                      static_cast<uint64_t>(tag));
                         node->OnMessage(from, payload);
                       }
                     },
@@ -70,6 +73,9 @@ void Simulation::RunHandler(const Event& ev) {
   }
   handler_cpu_ = 0;
   ++events_processed_;
+  if (step_observer_) {
+    step_observer_();
+  }
 }
 
 void Simulation::PruneCancelledTop() {

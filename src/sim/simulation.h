@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/metrics.h"
+#include "src/sim/trace.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
 
@@ -54,6 +56,14 @@ class Simulation {
   Rng& rng() { return rng_; }
   Network& network() { return *network_; }
 
+  // Central counters/histograms for every layer (see metrics.h).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Deterministic event trace; disabled unless trace().Enable() is called.
+  EventTrace& trace() { return trace_; }
+  const EventTrace& trace() const { return trace_; }
+
   // Registers a node under `id`. The node must outlive the simulation run.
   void AddNode(NodeId id, SimNode* node);
   void RemoveNode(NodeId id);
@@ -84,8 +94,16 @@ class Simulation {
   // Total events processed (telemetry for tests/benches).
   uint64_t events_processed() const { return events_processed_; }
 
+  // Invoked after every processed event; the invariant auditor hooks in here
+  // so tests can assert protocol invariants after each simulation step.
+  void SetStepObserver(std::function<void()> observer) {
+    step_observer_ = std::move(observer);
+  }
+
   // Internal: used by Network to deliver messages with node serialization.
-  void ScheduleDelivery(SimTime when, NodeId to, NodeId from, Bytes payload);
+  // `tag` labels the payload (message type) for trace records.
+  void ScheduleDelivery(SimTime when, NodeId to, NodeId from, Bytes payload,
+                        int tag = -1);
 
  private:
   struct Event {
@@ -119,6 +137,9 @@ class Simulation {
   std::map<NodeId, SimNode*> nodes_;
   std::map<NodeId, SimTime> busy_until_;
   std::map<TimerId, bool> cancelled_;  // sparse: only timers ever cancelled
+  std::function<void()> step_observer_;
+  MetricsRegistry metrics_;
+  EventTrace trace_;
   Network* network_;
 };
 

@@ -1,0 +1,32 @@
+#include "src/sim/trace.h"
+
+#include "src/util/codec.h"
+
+namespace bftbase {
+
+void EventTrace::Record(TraceEvent event, SimTime time, int a, int b,
+                        uint64_t x, uint64_t y, BytesView extra) {
+  if (!enabled_) {
+    return;
+  }
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(event));
+  enc.PutU64(static_cast<uint64_t>(time));
+  enc.PutU32(static_cast<uint32_t>(a));
+  enc.PutU32(static_cast<uint32_t>(b));
+  enc.PutU64(x);
+  enc.PutU64(y);
+  enc.PutBytes(extra);
+  Bytes record = enc.Take();
+  hasher_.Update(record);
+  ++event_count_;
+}
+
+Digest EventTrace::digest() const {
+  Sha256 copy = hasher_;
+  std::array<uint8_t, Sha256::kDigestSize> out;
+  copy.Final(out.data());
+  return Digest(out);
+}
+
+}  // namespace bftbase

@@ -1,5 +1,6 @@
 #include "src/workload/andrew.h"
 
+#include "src/sim/network.h"
 #include "src/util/log.h"
 
 namespace bftbase {
@@ -37,9 +38,25 @@ AndrewResult RunAndrewBenchmark(FsSession& fs, Simulation& sim,
     result.error = what + ": " + status.ToString();
     return result;
   };
-  auto phase_begin = [&] { return sim.Now(); };
-  auto phase_end = [&](const char* name, SimTime start, uint64_t ops) {
-    result.phases.push_back(AndrewPhaseResult{name, sim.Now() - start, ops});
+  struct PhaseSnap {
+    SimTime time = 0;
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+  auto phase_begin = [&] {
+    return PhaseSnap{sim.Now(), sim.network().messages_delivered(),
+                     sim.network().bytes_delivered()};
+  };
+  auto phase_end = [&](const char* name, const PhaseSnap& snap,
+                       uint64_t ops) {
+    AndrewPhaseResult phase;
+    phase.name = name;
+    phase.elapsed_us = sim.Now() - snap.time;
+    phase.operations = ops;
+    phase.messages_delivered =
+        sim.network().messages_delivered() - snap.messages;
+    phase.bytes_delivered = sim.network().bytes_delivered() - snap.bytes;
+    result.phases.push_back(std::move(phase));
   };
 
   auto root = fs.Mkdir(fs.Root(), config.root_name);
@@ -48,7 +65,7 @@ AndrewResult RunAndrewBenchmark(FsSession& fs, Simulation& sim,
   }
 
   // --- Phase 1: mkdir -------------------------------------------------------
-  SimTime start = phase_begin();
+  PhaseSnap start = phase_begin();
   uint64_t ops = 0;
   std::vector<Oid> dirs;
   for (int d = 0; d < config.directories; ++d) {

@@ -43,6 +43,10 @@ struct AndrewPhaseResult {
   std::string name;
   SimTime elapsed_us = 0;
   uint64_t operations = 0;
+  // Network traffic actually delivered during the phase (from the sim's
+  // MetricsRegistry; excludes dropped/suppressed messages).
+  uint64_t messages_delivered = 0;
+  uint64_t bytes_delivered = 0;
 };
 
 struct AndrewResult {

@@ -1,0 +1,55 @@
+// Shared test plumbing for the InvariantAuditor: a ServiceGroup smart
+// pointer whose deleter asserts that no PBFT safety invariant was violated
+// during the test. Tests opt in by building groups through a helper that
+// calls EnableAudit(); Byzantine replicas driven by the test must be
+// excluded with group->auditor()->MarkFaulty(id).
+#ifndef TESTS_AUDIT_HELPERS_H_
+#define TESTS_AUDIT_HELPERS_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/base/service_group.h"
+
+namespace bftbase {
+
+// Reports every recorded violation as a test failure. Call explicitly for
+// stack-allocated groups; AuditedGroup's deleter calls it automatically.
+inline void ExpectNoViolations(ServiceGroup& group) {
+  InvariantAuditor* auditor = group.auditor();
+  ASSERT_NE(auditor, nullptr) << "EnableAudit() was never called";
+  if (auditor->violation_count() != 0) {
+    std::string all;
+    for (const std::string& v : auditor->violations()) {
+      all += "  ";
+      all += v;
+      all += '\n';
+    }
+    ADD_FAILURE() << auditor->violation_count()
+                  << " safety-invariant violation(s) after "
+                  << auditor->checks_run() << " checks:\n"
+                  << all;
+  }
+}
+
+struct AuditedGroupDeleter {
+  void operator()(ServiceGroup* group) const {
+    if (group == nullptr) {
+      return;
+    }
+    if (group->auditor() != nullptr) {
+      ExpectNoViolations(*group);
+    }
+    delete group;
+  }
+};
+
+// Drop-in replacement for std::unique_ptr<ServiceGroup> in tests: same
+// usage, plus the automatic end-of-test invariant check.
+using AuditedGroup = std::unique_ptr<ServiceGroup, AuditedGroupDeleter>;
+
+}  // namespace bftbase
+
+#endif  // TESTS_AUDIT_HELPERS_H_

@@ -5,6 +5,7 @@
 #include "src/base/kv_adapter.h"
 #include "src/base/service_group.h"
 #include "src/util/log.h"
+#include "tests/audit_helpers.h"
 
 namespace bftbase {
 namespace {
@@ -18,12 +19,15 @@ ServiceGroup::Params SmallParams(uint64_t seed = 7) {
   return params;
 }
 
-std::unique_ptr<ServiceGroup> MakeKvGroup(ServiceGroup::Params params,
-                                          size_t slots = 64) {
-  return std::make_unique<ServiceGroup>(
+AuditedGroup MakeKvGroup(ServiceGroup::Params params, size_t slots = 64) {
+  AuditedGroup group(new ServiceGroup(
       params, [slots](Simulation* sim, NodeId) {
         return std::make_unique<KvAdapter>(sim, slots);
-      });
+      }));
+  // Every protocol test runs under the invariant auditor; the AuditedGroup
+  // deleter fails the test if any safety invariant was violated.
+  group->EnableAudit();
+  return group;
 }
 
 TEST(BftProtocol, SingleSetGet) {
@@ -204,6 +208,9 @@ TEST(BftProtocol, RecoveryRepairsCorruptConcreteState) {
 
 TEST(BftProtocol, ByzantineRepliesAreOutvoted) {
   auto group = MakeKvGroup(SmallParams());
+  // Deliberately NOT marked faulty for the auditor: reply corruption must
+  // only affect the wire to the client, so replica 3's audited protocol
+  // state (checkpoints, reply cache) has to stay in agreement throughout.
   group->replica(3).SetCorruptReplies(true);
   for (int i = 0; i < 5; ++i) {
     auto r = group->Invoke(KvAdapter::EncodeSet(0, ToBytes("truth")));
@@ -217,6 +224,7 @@ TEST(BftProtocol, ByzantineRepliesAreOutvoted) {
 
 TEST(BftProtocol, EquivocatingPrimaryIsReplaced) {
   auto group = MakeKvGroup(SmallParams(23));
+  group->auditor()->MarkFaulty(0);  // the equivocator is Byzantine
   group->replica(0).SetEquivocate(true);
   auto r = group->Invoke(KvAdapter::EncodeSet(6, ToBytes("equiv")),
                          /*read_only=*/false, 240 * kSecond);
@@ -280,6 +288,7 @@ TEST(BftProtocol, LargerGroupF2ToleratesTwoCrashes) {
   ServiceGroup group(params, [](Simulation* sim, NodeId) {
     return std::make_unique<KvAdapter>(sim, 64);
   });
+  group.EnableAudit();
   ASSERT_TRUE(group.Invoke(KvAdapter::EncodeSet(0, ToBytes("f2"))).ok());
   // Crash two backups: the remaining 5 = 2f+1 keep the service running.
   group.sim().network().Isolate(3);
@@ -291,6 +300,7 @@ TEST(BftProtocol, LargerGroupF2ToleratesTwoCrashes) {
   auto get = group.Invoke(KvAdapter::EncodeGet(0));
   ASSERT_TRUE(get.ok());
   EXPECT_EQ(ToString(*get), "f2!!!!!!");
+  ExpectNoViolations(group);
 }
 
 TEST(BftProtocol, F2ViewChangeOnPrimaryCrash) {
@@ -302,12 +312,14 @@ TEST(BftProtocol, F2ViewChangeOnPrimaryCrash) {
   ServiceGroup group(params, [](Simulation* sim, NodeId) {
     return std::make_unique<KvAdapter>(sim, 64);
   });
+  group.EnableAudit();
   ASSERT_TRUE(group.Invoke(KvAdapter::EncodeSet(1, ToBytes("a"))).ok());
   group.sim().network().Isolate(0);
   auto r = group.Invoke(KvAdapter::EncodeSet(1, ToBytes("b")),
                         /*read_only=*/false, 240 * kSecond);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_GE(group.replica(1).view(), 1u);
+  ExpectNoViolations(group);
 }
 
 TEST(BftProtocol, ReExecutionAfterViewChangeKeepsCheckpointsAligned) {

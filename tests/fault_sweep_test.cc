@@ -1,0 +1,131 @@
+// Seeded fault-injection sweep under the invariant auditor and the
+// deterministic event trace.
+//
+// Every scenario runs with the auditor attached to all replicas and checked
+// after every simulation step: whatever the fault does, the correct replicas
+// must keep zero safety violations and the service must stay live. The event
+// trace doubles as the determinism oracle: repeating a scenario with the same
+// seed must reproduce the exact same trace digest.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/kv_adapter.h"
+#include "src/base/service_group.h"
+#include "src/sim/network.h"
+#include "src/sim/trace.h"
+
+namespace bftbase {
+namespace {
+
+constexpr int kOps = 8;
+
+struct SweepOutcome {
+  Digest trace_digest;
+  uint64_t trace_events = 0;
+  uint64_t violations = 0;
+  std::string first_violation;
+  std::string final_value;
+};
+
+SweepOutcome RunScenario(const std::string& scenario, uint64_t seed) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 4;
+  params.config.log_window = 8;
+  params.seed = seed;
+  ServiceGroup group(std::move(params), [](Simulation* sim, NodeId) {
+    return std::make_unique<KvAdapter>(sim, 64);
+  });
+  group.EnableTrace();
+  InvariantAuditor& auditor = group.EnableAudit();
+
+  if (scenario == "muted_backup") {
+    group.replica(2).SetMute(true);
+  } else if (scenario == "muted_primary") {
+    group.replica(0).SetMute(true);
+  } else if (scenario == "equivocating_primary") {
+    // The only actively Byzantine protocol participant: excluded from the
+    // invariants (everything it says is suspect), but the remaining correct
+    // replicas must still agree and serve.
+    group.replica(0).SetEquivocate(true);
+    auditor.MarkFaulty(0);
+  } else if (scenario == "corrupt_replies") {
+    // Deliberately NOT marked faulty: corruption is applied to outgoing
+    // reply wires only, so the replica's audited protocol state (executed
+    // batches, checkpoints, reply cache) must stay in agreement.
+    group.replica(3).SetCorruptReplies(true);
+  } else if (scenario == "partition_heal") {
+    group.sim().network().Isolate(2);
+  } else if (scenario == "message_loss") {
+    group.sim().network().SetDropProbability(0.1);
+  } else {
+    EXPECT_EQ(scenario, "baseline");
+  }
+
+  for (int i = 0; i < kOps; ++i) {
+    if (scenario == "partition_heal" && i == kOps / 2) {
+      group.sim().network().Heal(2);
+    }
+    auto r = group.Invoke(KvAdapter::EncodeAppend(0, ToBytes("x")),
+                          /*read_only=*/false, 240 * kSecond);
+    EXPECT_TRUE(r.ok()) << scenario << " op " << i << ": "
+                        << r.status().ToString();
+  }
+  auto get = group.Invoke(KvAdapter::EncodeGet(0), /*read_only=*/false,
+                          240 * kSecond);
+  EXPECT_TRUE(get.ok()) << scenario << ": " << get.status().ToString();
+
+  SweepOutcome out;
+  out.trace_digest = group.sim().trace().digest();
+  out.trace_events = group.sim().trace().event_count();
+  out.violations = auditor.violation_count();
+  if (!auditor.violations().empty()) {
+    out.first_violation = auditor.violations().front();
+  }
+  if (get.ok()) {
+    out.final_value = ToString(*get);
+  }
+  return out;
+}
+
+TEST(FaultSweep, CorrectReplicasNeverViolateInvariants) {
+  const std::vector<std::string> scenarios = {
+      "baseline",         "muted_backup",    "muted_primary",
+      "equivocating_primary", "corrupt_replies", "partition_heal",
+      "message_loss"};
+  for (const std::string& scenario : scenarios) {
+    for (uint64_t seed : {11ull, 12ull}) {
+      SCOPED_TRACE(scenario + " seed " + std::to_string(seed));
+      SweepOutcome out = RunScenario(scenario, seed);
+      EXPECT_EQ(out.violations, 0u) << out.first_violation;
+      // Liveness + exactly-once: every append executed exactly once.
+      EXPECT_EQ(out.final_value, std::string(kOps, 'x'));
+      EXPECT_GT(out.trace_events, 0u);
+    }
+  }
+}
+
+TEST(FaultSweep, SameSeedReproducesIdenticalTraceDigest) {
+  SweepOutcome first = RunScenario("message_loss", 42);
+  SweepOutcome second = RunScenario("message_loss", 42);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+  EXPECT_EQ(first.trace_events, second.trace_events);
+  EXPECT_GT(first.trace_events, 0u);
+
+  SweepOutcome other = RunScenario("message_loss", 43);
+  EXPECT_NE(first.trace_digest, other.trace_digest);
+}
+
+TEST(FaultSweep, SameSeedReproducesFaultyScenarioToo) {
+  // Determinism must hold under Byzantine behavior and view changes as well,
+  // not just random message loss.
+  SweepOutcome first = RunScenario("equivocating_primary", 7);
+  SweepOutcome second = RunScenario("equivocating_primary", 7);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+  EXPECT_EQ(first.trace_events, second.trace_events);
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -1,0 +1,188 @@
+// Protocol edge-case regressions: the log-window high watermark under lost
+// checkpoint votes, client retransmission against the reply cache, and the
+// stale-timestamp guard on replayed replies.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/base/kv_adapter.h"
+#include "src/base/service_group.h"
+#include "src/bft/message.h"
+#include "src/sim/network.h"
+#include "tests/audit_helpers.h"
+
+namespace bftbase {
+namespace {
+
+AuditedGroup MakeGroup(ServiceGroup::Params params) {
+  AuditedGroup group(new ServiceGroup(
+      std::move(params), [](Simulation* sim, NodeId) {
+        return std::make_unique<KvAdapter>(sim, 64);
+      }));
+  group->EnableAudit();
+  return group;
+}
+
+uint8_t WireType(const Bytes& wire) { return wire.empty() ? 0 : wire[0]; }
+
+// Drives the sequence space exactly to the high watermark (stable_seq +
+// log_window) while every CHECKPOINT vote is lost, so no checkpoint can
+// stabilize and the window cannot slide. The protocol must neither accept a
+// sequence number beyond the watermark nor wedge silently: once checkpoint
+// traffic heals, the heartbeat's vote re-broadcast stabilizes a checkpoint,
+// the window advances, and the stalled request completes without manual
+// intervention.
+TEST(ProtocolEdge, WindowFillsToHighWatermarkThenRecovers) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 2;
+  params.config.log_window = 4;
+  // Keep the view stable: this test is about the window, not view changes.
+  params.config.view_change_timeout = 600 * kSecond;
+  params.seed = 9001;
+  auto group = MakeGroup(std::move(params));
+
+  bool checkpoint_blackout = true;
+  group->sim().network().SetInterceptor(
+      [&](NodeId, NodeId, Bytes& wire) {
+        return !(checkpoint_blackout &&
+                 WireType(wire) == static_cast<uint8_t>(MsgType::kCheckpoint));
+      });
+
+  // Four single-request batches take seqs 1..4 == stable(0) + log_window(4).
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(i, ToBytes("v"))).ok())
+        << "op " << i;
+  }
+  EXPECT_EQ(group->replica(0).last_executed(), 4u);
+  // Checkpoints were taken at 2 and 4 but no vote got through.
+  EXPECT_EQ(group->replica(0).stable_seq(), 0u);
+
+  // The next request cannot be sequenced: seq 5 is beyond the watermark.
+  bool done = false;
+  Status status = Unavailable("never completed");
+  group->client(0).Invoke(KvAdapter::EncodeSet(9, ToBytes("late")),
+                          /*read_only=*/false, [&](Status s, Bytes) {
+                            status = std::move(s);
+                            done = true;
+                          });
+  group->sim().RunUntil(group->sim().Now() + 5 * kSecond);
+  EXPECT_FALSE(done) << "request was sequenced past the high watermark";
+  for (int r = 0; r < group->replica_count(); ++r) {
+    EXPECT_EQ(group->replica(r).last_executed(), 4u) << "replica " << r;
+  }
+
+  // Heal checkpoint traffic. The null-request heartbeat re-broadcasts each
+  // replica's newest checkpoint vote, the checkpoint at seq 4 stabilizes,
+  // the window slides to [5, 8], and the stalled request goes through.
+  checkpoint_blackout = false;
+  ASSERT_TRUE(group->sim().RunUntilTrue([&] { return done; },
+                                        group->sim().Now() + 120 * kSecond))
+      << "window stayed wedged after checkpoint traffic healed";
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(group->replica(0).stable_seq(), 4u);
+  auto get = group->Invoke(KvAdapter::EncodeGet(9));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "late");
+}
+
+// Replies to the client are lost; the operation still executes and populates
+// the reply cache, so the client's retransmission is answered from the cache.
+// Replica 3 corrupts its outgoing replies (f Byzantine) the whole time and is
+// deliberately NOT excluded from the audit: corruption must stay on the wire
+// only — its cached reply and checkpoints have to remain in agreement.
+TEST(ProtocolEdge, RetransmitAfterReplyLossWithCorruptReplies) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 2;
+  params.config.log_window = 8;
+  params.seed = 9002;
+  auto group = MakeGroup(std::move(params));
+  group->replica(3).SetCorruptReplies(true);
+
+  const NodeId client_id = group->config().ClientId(0);
+  const SimTime blackout_until = group->sim().Now() + 2 * kSecond;
+  group->sim().network().SetInterceptor(
+      [&](NodeId, NodeId to, Bytes& wire) {
+        return !(to == client_id && group->sim().Now() < blackout_until &&
+                 WireType(wire) == static_cast<uint8_t>(MsgType::kReply));
+      });
+
+  auto r = group->Invoke(KvAdapter::EncodeSet(1, ToBytes("survives")),
+                         /*read_only=*/false, 60 * kSecond);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The first delivery attempt was inside the blackout, so the completion
+  // necessarily came from a retransmission answered out of the reply cache.
+  EXPECT_GE(group->client(0).retries(), 1u);
+
+  // Keep going past a checkpoint so the audited reply-cache digests include
+  // the retransmitted operation (replica 3 still corrupting).
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        group->Invoke(KvAdapter::EncodeAppend(2, ToBytes("x"))).ok());
+  }
+  auto get = group->Invoke(KvAdapter::EncodeGet(1));
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "survives");
+  EXPECT_GT(group->replica(0).stable_seq(), 0u);
+}
+
+// A reply that matched an abandoned operation's timestamp must never satisfy
+// a later operation: replicas execute op1 but all its replies are captured
+// and dropped; the client gives up, starts op2, and the captured op1 replies
+// are then replayed at it. The stale-timestamp check has to discard them and
+// op2 must complete with its own result.
+TEST(ProtocolEdge, ReplayedStaleRepliesCannotCompleteNewOperation) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.config.checkpoint_interval = 8;
+  params.config.log_window = 16;
+  params.seed = 9003;
+  auto group = MakeGroup(std::move(params));
+
+  const NodeId client_id = group->config().ClientId(0);
+  std::vector<std::pair<NodeId, Bytes>> captured;
+  group->sim().network().SetInterceptor(
+      [&](NodeId from, NodeId to, Bytes& wire) {
+        if (to == client_id &&
+            WireType(wire) == static_cast<uint8_t>(MsgType::kReply)) {
+          captured.emplace_back(from, wire);
+          return false;
+        }
+        return true;
+      });
+
+  // op1 executes on the replicas but the client never learns; it abandons.
+  auto r1 = group->Invoke(KvAdapter::EncodeSet(7, ToBytes("first")),
+                          /*read_only=*/false, 2 * kSecond);
+  EXPECT_FALSE(r1.ok());
+  ASSERT_FALSE(captured.empty());
+  group->sim().network().SetInterceptor(nullptr);
+
+  // op2 starts, and every captured op1 reply is replayed at the client while
+  // op2 is still pending. If the stale replies were accepted, op2 would
+  // complete with op1's "OK" instead of the slot's contents.
+  bool done = false;
+  Status status = Unavailable("never completed");
+  Bytes result;
+  group->client(0).Invoke(KvAdapter::EncodeGet(7), /*read_only=*/false,
+                          [&](Status s, Bytes b) {
+                            status = std::move(s);
+                            result = std::move(b);
+                            done = true;
+                          });
+  for (const auto& [from, wire] : captured) {
+    group->sim().network().Send(from, client_id, wire);
+  }
+  ASSERT_TRUE(group->sim().RunUntilTrue([&] { return done; },
+                                        group->sim().Now() + 60 * kSecond));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // op1 really executed (the slot holds its value), and op2's result is the
+  // GET's answer — not a stale SET acknowledgement.
+  EXPECT_EQ(ToString(result), "first");
+}
+
+}  // namespace
+}  // namespace bftbase

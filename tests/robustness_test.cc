@@ -8,6 +8,7 @@
 #include "src/bft/channel.h"
 #include "src/sim/network.h"
 #include "src/util/rng.h"
+#include "tests/audit_helpers.h"
 
 namespace bftbase {
 namespace {
@@ -21,11 +22,15 @@ ServiceGroup::Params RobustParams(uint64_t seed) {
   return params;
 }
 
-std::unique_ptr<ServiceGroup> MakeGroup(uint64_t seed) {
-  return std::make_unique<ServiceGroup>(
+AuditedGroup MakeGroup(uint64_t seed) {
+  AuditedGroup group(new ServiceGroup(
       RobustParams(seed), [](Simulation* sim, NodeId) {
         return std::make_unique<KvAdapter>(sim, 64);
-      });
+      }));
+  // Adversarial traffic must not be able to break agreement: every
+  // robustness test also runs under the invariant auditor.
+  group->EnableAudit();
+  return group;
 }
 
 TEST(Robustness, RandomGarbageToEveryNode) {

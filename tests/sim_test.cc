@@ -195,6 +195,77 @@ TEST(Network, InterceptorCanDropAndMutate) {
   EXPECT_EQ(ToString(receiver.messages[0].second), "Xutate me");
 }
 
+TEST(Network, FullDropDeliversNothing) {
+  // Regression for the send-counting bug: with 100% loss the network used to
+  // report traffic as "sent" even though nothing ever arrived. The stats now
+  // split offered/delivered/dropped, and delivered must be exactly zero.
+  Simulation sim(42);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  sim.network().SetDropProbability(1.0);
+  for (int i = 0; i < 100; ++i) {
+    sim.After(1, i, [&] { sim.network().Send(1, 2, ToBytes("lost")); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_TRUE(receiver.messages.empty());
+  EXPECT_EQ(sim.network().messages_offered(), 100u);
+  EXPECT_EQ(sim.network().messages_delivered(), 0u);
+  EXPECT_EQ(sim.network().messages_dropped(), 100u);
+  EXPECT_EQ(sim.network().bytes_delivered(), 0u);
+  EXPECT_EQ(sim.network().bytes_offered(), 100u * 4u);
+}
+
+TEST(Network, StatsSplitOfferedDeliveredDropped) {
+  Simulation sim(1);
+  RecordingNode a;
+  RecordingNode b;
+  sim.AddNode(1, &a);
+  sim.AddNode(2, &b);
+  sim.network().BlockLink(1, 2);
+  sim.After(1, 0, [&] {
+    sim.network().Send(1, 2, ToBytes("blocked"));  // dropped
+    sim.network().Send(2, 1, ToBytes("blocked"));  // dropped
+    sim.network().Send(1, 1, ToBytes("self"));     // delivered (loopback)
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.network().messages_offered(), 3u);
+  EXPECT_EQ(sim.network().messages_delivered(), 1u);
+  EXPECT_EQ(sim.network().messages_dropped(), 2u);
+  EXPECT_EQ(sim.network().messages_offered(),
+            sim.network().messages_delivered() +
+                sim.network().messages_dropped());
+  ASSERT_EQ(a.messages.size(), 1u);
+}
+
+TEST(Network, InterceptorDropIsCountedDropped) {
+  Simulation sim(1);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  sim.network().SetInterceptor(
+      [](NodeId, NodeId, Bytes&) { return false; });
+  sim.After(1, 0, [&] { sim.network().Send(1, 2, ToBytes("censored")); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.network().messages_offered(), 1u);
+  EXPECT_EQ(sim.network().messages_delivered(), 0u);
+  EXPECT_EQ(sim.network().messages_dropped(), 1u);
+}
+
+TEST(Network, ResetStatsClearsNetworkCountersOnly) {
+  Simulation sim(1);
+  RecordingNode receiver;
+  sim.AddNode(2, &receiver);
+  sim.metrics().Inc("replica.requests_executed", 0);
+  sim.After(1, 0, [&] { sim.network().Send(1, 2, ToBytes("m")); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.network().messages_offered(), 1u);
+  sim.network().ResetStats();
+  EXPECT_EQ(sim.network().messages_offered(), 0u);
+  EXPECT_EQ(sim.network().messages_delivered(), 0u);
+  EXPECT_EQ(sim.network().messages_dropped(), 0u);
+  EXPECT_EQ(sim.network().bytes_offered(), 0u);
+  EXPECT_EQ(sim.metrics().Get("replica.requests_executed", 0), 1u);
+}
+
 TEST(Network, MulticastReachesRange) {
   Simulation sim(1);
   RecordingNode nodes[4];
