@@ -82,23 +82,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The last four columns are the real hot-path work done by the replicated
+  // run (SHA-256 compressions, MB through the hashers, payload copies by the
+  // zero-copy fabric, encode-buffer pool misses).
   Table table({"phase", "NFS (ms)", "BASEFS (ms)", "BASEFS no-PR (ms)",
-               "overhead", "msgs dlvd", "MB dlvd"});
+               "overhead", "msgs dlvd", "MB dlvd", "sha256 blk", "MB hashed",
+               "copies", "enc allocs"});
   uint64_t total_messages = 0;
   uint64_t total_bytes = 0;
+  uint64_t total_sha_blocks = 0;
+  uint64_t total_hashed = 0;
+  uint64_t total_copies = 0;
+  uint64_t total_encode_allocs = 0;
   for (size_t i = 0; i < baseline.phases.size(); ++i) {
     const auto& base_phase = baseline.phases[i];
     const auto& repl_phase = replicated.phases[i];
     const auto& nopr_phase = no_recovery.phases[i];
     total_messages += repl_phase.messages_delivered;
     total_bytes += repl_phase.bytes_delivered;
+    total_sha_blocks += repl_phase.sha256_blocks;
+    total_hashed += repl_phase.bytes_hashed;
+    total_copies += repl_phase.payload_copies;
+    total_encode_allocs += repl_phase.encode_allocs;
     table.AddRow({base_phase.name, FormatMs(base_phase.elapsed_us),
                   FormatMs(repl_phase.elapsed_us),
                   FormatMs(nopr_phase.elapsed_us),
                   FormatRatio(static_cast<double>(repl_phase.elapsed_us) /
                               static_cast<double>(base_phase.elapsed_us)),
                   FormatCount(repl_phase.messages_delivered),
-                  FormatMb(repl_phase.bytes_delivered)});
+                  FormatMb(repl_phase.bytes_delivered),
+                  FormatCount(repl_phase.sha256_blocks),
+                  FormatMb(repl_phase.bytes_hashed),
+                  FormatCount(repl_phase.payload_copies),
+                  FormatCount(repl_phase.encode_allocs)});
   }
   double overhead = static_cast<double>(replicated.total_us) /
                         static_cast<double>(baseline.total_us) -
@@ -107,7 +123,9 @@ int main(int argc, char** argv) {
                 FormatMs(replicated.total_us),
                 FormatMs(no_recovery.total_us),
                 FormatPercent(overhead), FormatCount(total_messages),
-                FormatMb(total_bytes)});
+                FormatMb(total_bytes), FormatCount(total_sha_blocks),
+                FormatMb(total_hashed), FormatCount(total_copies),
+                FormatCount(total_encode_allocs)});
   table.Print();
 
   std::printf("\nmeasured overhead with Tv = 17 min: %s"

@@ -10,6 +10,11 @@
 
 #include "src/base/service_group.h"
 
+// --- JSON emission ----------------------------------------------------------
+// Minimal writer for the BENCH_*.json artifacts (machine-readable companions
+// to the printed tables; see bench_wallclock). Supports what those files
+// need: nested objects/arrays, string keys, numbers, strings, booleans.
+
 namespace bftbase {
 
 inline ServiceGroup::Params StandardParams(uint64_t seed) {
@@ -99,6 +104,139 @@ inline std::string FormatMb(uint64_t bytes) {
                 static_cast<double>(bytes) / (1 << 20));
   return buf;
 }
+
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(State::kTop); }
+
+  JsonWriter& BeginObject() { return Open('{', State::kObject); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('[', State::kArray); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view k) {
+    Separate();
+    Quote(k);
+    out_ += ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(uint64_t v) { return Raw(std::to_string(v)); }
+  JsonWriter& Value(int64_t v) { return Raw(std::to_string(v)); }
+  JsonWriter& Value(int v) { return Raw(std::to_string(v)); }
+  JsonWriter& Value(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(buf);
+  }
+  JsonWriter& Value(bool v) { return Raw(v ? "true" : "false"); }
+  JsonWriter& Value(std::string_view s) {
+    Separate();
+    Quote(s);
+    return *this;
+  }
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+
+  // Convenience: Key + Value in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document (plus trailing newline) to `path`; false on error.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+              std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  enum class State { kTop, kObject, kArray };
+
+  // Emits the separating comma/newline/indent owed before a new element.
+  void Separate() {
+    if (pending_key_) {
+      return;  // value directly after its key: no separator
+    }
+    if (needs_comma_.size() >= stack_.size() &&
+        needs_comma_[stack_.size() - 1]) {
+      out_ += ",";
+    }
+    if (stack_.back() != State::kTop) {
+      out_ += "\n";
+      out_.append(2 * (stack_.size() - 1), ' ');
+    }
+    if (needs_comma_.size() < stack_.size()) {
+      needs_comma_.resize(stack_.size(), false);
+    }
+    needs_comma_[stack_.size() - 1] = true;
+  }
+
+  JsonWriter& Open(char c, State state) {
+    Separate();
+    pending_key_ = false;
+    out_ += c;
+    stack_.push_back(state);
+    if (needs_comma_.size() < stack_.size()) {
+      needs_comma_.resize(stack_.size(), false);
+    }
+    needs_comma_[stack_.size() - 1] = false;
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    bool had_elements = needs_comma_[stack_.size() - 1];
+    stack_.pop_back();
+    if (had_elements) {
+      out_ += "\n";
+      out_.append(2 * (stack_.size() - 1), ' ');
+    }
+    out_ += c;
+    return *this;
+  }
+
+  JsonWriter& Raw(const std::string& s) {
+    Separate();
+    pending_key_ = false;
+    out_ += s;
+    return *this;
+  }
+
+  void Quote(std::string_view s) {
+    pending_key_ = false;
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<State> stack_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
 
 }  // namespace bftbase
 

@@ -11,6 +11,7 @@
 #include "src/basefs/basefs_group.h"
 #include "src/basefs/fs_session.h"
 #include "src/sim/network.h"
+#include "src/util/hotpath.h"
 #include "src/workload/fault_injector.h"
 
 using namespace bftbase;
@@ -33,10 +34,16 @@ FaultScenarioResult RunScenario(const std::string& name,
   config.operations = 120;
   config.op_gap = 50 * kMillisecond;
   config.seed = seed;
+  const hotpath::Counters hot_before = hotpath::counters();
   FaultScenarioResult result = RunFaultScenario(*group, fs, config);
+  const hotpath::Counters& hot_after = hotpath::counters();
+  SyncHotPathCounters(group->sim().metrics());
   // Delivered vs dropped split from the MetricsRegistry: only traffic that
   // actually arrived counts (crash/partition scenarios used to inflate
-  // "sent" with messages that never got through).
+  // "sent" with messages that never got through). The hot-path columns are
+  // real CPU work during the scenario: SHA-256 compressions and payload
+  // copies made by the zero-copy fabric (interceptor-driven scenarios pay
+  // copy-on-write; clean ones copy once per multicast).
   const Network& net = group->sim().network();
   table.AddRow({name,
                 FormatPercent(result.Availability()),
@@ -46,6 +53,9 @@ FaultScenarioResult RunScenario(const std::string& name,
                 FormatCount(result.recoveries),
                 FormatCount(net.messages_delivered()),
                 FormatCount(net.messages_dropped()),
+                FormatCount(hot_after.sha256_blocks -
+                            hot_before.sha256_blocks),
+                FormatCount(net.payload_copies()),
                 result.wrong_result_observed ? "YES (BUG!)" : "no"});
   return result;
 }
@@ -56,7 +66,7 @@ int main() {
   PrintHeader("E7: fault injection over heterogeneous BASEFS (120 ops each)");
   Table table({"scenario", "availability", "mean lat (us)", "max lat (ms)",
                "view changes", "recoveries", "msgs dlvd", "msgs dropped",
-               "wrong results"});
+               "sha256 blk", "copies", "wrong results"});
 
   RunScenario("no faults", {}, 601, table);
 

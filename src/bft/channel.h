@@ -87,7 +87,6 @@ class Channel {
   void CorruptOutgoingAuth(bool enabled) { corrupt_outgoing_ = enabled; }
 
  private:
-  Bytes SigningKey(NodeId signer) const;
   Bytes Seal(MsgType type, BytesView payload, AuthKind kind, NodeId to);
 
   Simulation* sim_;

@@ -478,7 +478,12 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
     last_executed_timestamp_[request->client] = request->timestamp;
     sim_->metrics().Inc(kRequestsExecuted, id_);
     SendReply(*request, std::move(result), /*tentative=*/false);
-    pending_requests_.erase(request->ComputeDigest());
+    // Hot path: backups usually have no pending entry for this request (only
+    // the primary queued it), so skip re-hashing the request just to erase
+    // nothing.
+    if (!pending_requests_.empty()) {
+      pending_requests_.erase(request->ComputeDigest());
+    }
   }
   entry.executed = true;
   last_executed_ = seq;

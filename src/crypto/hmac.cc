@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/util/hotpath.h"
+
 namespace bftbase {
 
-std::array<uint8_t, Sha256::kDigestSize> HmacSha256(BytesView key,
-                                                    BytesView message) {
-  constexpr size_t kBlockSize = 64;
-  uint8_t key_block[kBlockSize];
+namespace {
+
+constexpr size_t kBlockSize = 64;
+
+// Fills `key_block` with the padded (or pre-hashed) key, per RFC 2104.
+void NormalizeKey(BytesView key, uint8_t key_block[kBlockSize]) {
   std::memset(key_block, 0, kBlockSize);
   if (key.size() > kBlockSize) {
     auto hashed = Sha256::Hash(key);
@@ -16,6 +20,14 @@ std::array<uint8_t, Sha256::kDigestSize> HmacSha256(BytesView key,
   } else {
     std::memcpy(key_block, key.data(), key.size());
   }
+}
+
+}  // namespace
+
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(BytesView key,
+                                                    BytesView message) {
+  uint8_t key_block[kBlockSize];
+  NormalizeKey(key, key_block);
 
   uint8_t ipad[kBlockSize];
   uint8_t opad[kBlockSize];
@@ -45,15 +57,45 @@ Mac ComputeMac(BytesView key, BytesView message) {
   return mac;
 }
 
+HmacKey::HmacKey(BytesView key) {
+  uint8_t key_block[kBlockSize];
+  NormalizeKey(key, key_block);
+  uint8_t pad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = key_block[i] ^ 0x36;
+  }
+  inner_.Update(BytesView(pad, kBlockSize));
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    pad[i] = key_block[i] ^ 0x5c;
+  }
+  outer_.Update(BytesView(pad, kBlockSize));
+}
+
+std::array<uint8_t, Sha256::kDigestSize> HmacKey::Hmac(
+    BytesView message) const {
+  Sha256 inner = inner_;  // resume from the ipad midstate
+  inner.Update(message);
+  uint8_t inner_digest[Sha256::kDigestSize];
+  inner.Final(inner_digest);
+
+  Sha256 outer = outer_;  // resume from the opad midstate
+  outer.Update(BytesView(inner_digest, Sha256::kDigestSize));
+  std::array<uint8_t, Sha256::kDigestSize> out;
+  outer.Final(out.data());
+  return out;
+}
+
+Mac HmacKey::MacOf(BytesView message) const {
+  auto full = Hmac(message);
+  Mac mac;
+  std::memcpy(mac.data(), full.data(), kMacSize);
+  return mac;
+}
+
 KeyTable::KeyTable(uint64_t master_secret, int node_count)
     : master_secret_(master_secret), epochs_(node_count, 0) {}
 
-Bytes KeyTable::SessionKey(int a, int b) const {
-  int lo = std::min(a, b);
-  int hi = std::max(a, b);
-  // The pair's key is bound to the max of the two endpoints' epochs so that a
-  // single refresh by either endpoint rotates the key.
-  uint64_t epoch = std::max(epochs_[lo], epochs_[hi]);
+Bytes KeyTable::DeriveSessionKey(int lo, int hi, uint64_t epoch) const {
   uint8_t material[24];
   uint64_t fields[3] = {static_cast<uint64_t>(lo), static_cast<uint64_t>(hi),
                         epoch};
@@ -63,6 +105,15 @@ Bytes KeyTable::SessionKey(int a, int b) const {
   auto derived = HmacSha256(BytesView(master, sizeof(master)),
                             BytesView(material, sizeof(material)));
   return Bytes(derived.begin(), derived.end());
+}
+
+Bytes KeyTable::SessionKey(int a, int b) const {
+  int lo = std::min(a, b);
+  int hi = std::max(a, b);
+  // The pair's key is bound to the max of the two endpoints' epochs so that a
+  // single refresh by either endpoint rotates the key.
+  uint64_t epoch = std::max(epochs_[lo], epochs_[hi]);
+  return DeriveSessionKey(lo, hi, epoch);
 }
 
 Bytes KeyTable::SigningKey(int node) const {
@@ -77,6 +128,36 @@ Bytes KeyTable::SigningKey(int node) const {
   return Bytes(derived.begin(), derived.end());
 }
 
+Mac KeyTable::PairMac(int a, int b, BytesView message) const {
+  if (!hotpath::caches_enabled()) {
+    return ComputeMac(SessionKey(a, b), message);
+  }
+  int lo = std::min(a, b);
+  int hi = std::max(a, b);
+  uint64_t epoch = std::max(epochs_[lo], epochs_[hi]);
+  // The cached marker is epoch + 1 so that a default-constructed slot (0)
+  // can never pass for a legitimate epoch-0 entry.
+  auto& slot = session_cache_[{lo, hi}];
+  if (slot.first != epoch + 1) {
+    slot.second = HmacKey(DeriveSessionKey(lo, hi, epoch));
+    slot.first = epoch + 1;
+  }
+  return slot.second.MacOf(message);
+}
+
+std::array<uint8_t, Sha256::kDigestSize> KeyTable::Sign(
+    int node, BytesView message) const {
+  if (!hotpath::caches_enabled()) {
+    return HmacSha256(SigningKey(node), message);
+  }
+  auto it = signing_cache_.find(node);
+  if (it == signing_cache_.end()) {
+    Bytes key = SigningKey(node);
+    it = signing_cache_.emplace(node, HmacKey(key)).first;
+  }
+  return it->second.Hmac(message);
+}
+
 void KeyTable::RefreshKeysFor(int node) { ++epochs_[node]; }
 
 Authenticator Authenticator::Compute(const KeyTable& keys, int sender, int n,
@@ -84,8 +165,7 @@ Authenticator Authenticator::Compute(const KeyTable& keys, int sender, int n,
   Authenticator auth;
   auth.macs_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    Bytes key = keys.SessionKey(sender, i);
-    auth.macs_.push_back(ComputeMac(key, message));
+    auth.macs_.push_back(keys.PairMac(sender, i, message));
   }
   return auth;
 }
@@ -95,8 +175,7 @@ bool Authenticator::Verify(const KeyTable& keys, int sender, int receiver,
   if (receiver < 0 || static_cast<size_t>(receiver) >= macs_.size()) {
     return false;
   }
-  Bytes key = keys.SessionKey(sender, receiver);
-  Mac expected = ComputeMac(key, message);
+  Mac expected = keys.PairMac(sender, receiver, message);
   return ConstantTimeEqual(BytesView(expected.data(), kMacSize),
                            BytesView(macs_[receiver].data(), kMacSize));
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/util/hotpath.h"
+
 namespace bftbase {
 
 namespace {
@@ -37,6 +39,7 @@ void Sha256::Reset() {
 }
 
 void Sha256::Update(BytesView data) {
+  hotpath::counters().bytes_hashed += data.size();
   bit_count_ += static_cast<uint64_t>(data.size()) * 8;
   size_t offset = 0;
   if (buffer_len_ > 0) {
@@ -60,6 +63,7 @@ void Sha256::Update(BytesView data) {
 }
 
 void Sha256::Final(uint8_t out[kDigestSize]) {
+  ++hotpath::counters().sha256_invocations;
   // Append 0x80, pad with zeros, then the 64-bit big-endian length.
   uint64_t bits = bit_count_;
   uint8_t pad[72];
@@ -73,6 +77,9 @@ void Sha256::Final(uint8_t out[kDigestSize]) {
     pad[pad_len++] = static_cast<uint8_t>(bits >> (8 * i));
   }
   Update(BytesView(pad, pad_len));
+  // bytes_hashed tracks message bytes only, not the Merkle–Damgård padding
+  // the line above just pushed through Update().
+  hotpath::counters().bytes_hashed -= pad_len;
   for (int i = 0; i < 8; ++i) {
     out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
     out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
@@ -82,6 +89,7 @@ void Sha256::Final(uint8_t out[kDigestSize]) {
 }
 
 void Sha256::ProcessBlock(const uint8_t block[64]) {
+  ++hotpath::counters().sha256_blocks;
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |

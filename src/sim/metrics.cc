@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/hotpath.h"
+
 namespace bftbase {
 
 void MetricsRegistry::Inc(std::string_view name, int node, int tag,
@@ -12,6 +14,27 @@ void MetricsRegistry::Inc(std::string_view name, int node, int tag,
              .first;
   }
   it->second[{node, tag}] += delta;
+}
+
+void MetricsRegistry::Set(std::string_view name, uint64_t value, int node,
+                          int tag) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::map<Key, uint64_t>())
+             .first;
+  }
+  it->second[{node, tag}] = value;
+}
+
+void SyncHotPathCounters(MetricsRegistry& metrics) {
+  const hotpath::Counters& c = hotpath::counters();
+  metrics.Set("hot.sha256_invocations", c.sha256_invocations);
+  metrics.Set("hot.sha256_blocks", c.sha256_blocks);
+  metrics.Set("hot.bytes_hashed", c.bytes_hashed);
+  metrics.Set("hot.encode_allocs", c.encode_allocs);
+  metrics.Set("hot.encode_reuses", c.encode_reuses);
+  metrics.Set("hot.digest_memo_hits", c.digest_memo_hits);
+  metrics.Set("hot.digest_memo_misses", c.digest_memo_misses);
 }
 
 void MetricsRegistry::Observe(std::string_view name, int64_t value, int node,

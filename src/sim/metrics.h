@@ -30,6 +30,12 @@ class MetricsRegistry {
   void Inc(std::string_view name, int node = kAny, int tag = kAny,
            uint64_t delta = 1);
 
+  // Overwrites a counter cell (gauge semantics). Used to mirror externally
+  // maintained counters — e.g. the process-wide hot-path counters — into the
+  // registry so they show up in CounterRows() and per-phase snapshots.
+  void Set(std::string_view name, uint64_t value, int node = kAny,
+           int tag = kAny);
+
   // Histogram observation (count/sum/min/max plus power-of-two buckets).
   void Observe(std::string_view name, int64_t value, int node = kAny,
                int tag = kAny);
@@ -87,6 +93,14 @@ class MetricsRegistry {
   std::map<std::string, std::map<Key, uint64_t>, std::less<>> counters_;
   std::map<std::string, std::map<Key, HistogramCell>, std::less<>> histograms_;
 };
+
+// Mirrors the process-wide hot-path counters (src/util/hotpath.h) into
+// `metrics` as "hot.*" gauges: hot.sha256_invocations, hot.sha256_blocks,
+// hot.bytes_hashed, hot.encode_allocs, hot.encode_reuses,
+// hot.digest_memo_hits, hot.digest_memo_misses. Benches call this at phase
+// boundaries and diff the values. (hot.payload_copies / hot.bytes_copied are
+// maintained directly by Network and need no sync.)
+void SyncHotPathCounters(MetricsRegistry& metrics);
 
 }  // namespace bftbase
 

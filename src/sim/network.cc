@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/bufpool.h"
 #include "src/util/log.h"
 
 namespace bftbase {
@@ -14,6 +15,12 @@ constexpr const char kMsgsDropped[] = "net.messages_dropped";
 constexpr const char kBytesOffered[] = "net.bytes_offered";
 constexpr const char kBytesDelivered[] = "net.bytes_delivered";
 constexpr const char kBytesDropped[] = "net.bytes_dropped";
+// Hot-path accounting: real copies the fabric performed vs. the copies the
+// old copy-per-recipient fabric would have performed for the same traffic.
+constexpr const char kPayloadCopies[] = "hot.payload_copies";
+constexpr const char kBytesCopied[] = "hot.bytes_copied";
+constexpr const char kEagerCopies[] = "hot.eager_copies";
+constexpr const char kEagerCopyBytes[] = "hot.eager_copy_bytes";
 
 // The wire envelope's first byte is the MsgType (see Channel::Seal), so the
 // network can label traffic per message kind without parsing. Payloads that
@@ -35,41 +42,47 @@ void Network::CountDrop(NodeId from, NodeId to, int tag, size_t size) {
                        static_cast<uint64_t>(tag));
 }
 
-void Network::Send(NodeId from, NodeId to, Bytes payload) {
+void Network::CountOffered(NodeId from, NodeId to, int tag,
+                           const Bytes& payload) {
   // Accounting: every Send() is "offered"; only traffic that survives the
-  // fault checks below counts as "delivered". Counting sent traffic before
-  // the checks (as earlier revisions did) inflates reported bandwidth under
+  // fault checks counts as "delivered". Counting sent traffic before the
+  // checks (as earlier revisions did) inflates reported bandwidth under
   // fault injection by exactly the dropped volume.
-  const int tag = MessageTag(payload);
   MetricsRegistry& metrics = sim_->metrics();
   metrics.Inc(kMsgsOffered, from, tag);
   metrics.Inc(kBytesOffered, from, tag, payload.size());
   sim_->trace().Record(TraceEvent::kMsgSend, sim_->Now(), from, to,
                        payload.size(), static_cast<uint64_t>(tag), payload);
+}
 
+void Network::CountCopy(NodeId from, int tag, size_t size) {
+  MetricsRegistry& metrics = sim_->metrics();
+  metrics.Inc(kPayloadCopies, from, tag);
+  metrics.Inc(kBytesCopied, from, tag, size);
+}
+
+bool Network::PassesFaultChecks(NodeId from, NodeId to) {
   if (isolated_.count(from) > 0 || isolated_.count(to) > 0 ||
       LinkBlocked(from, to)) {
-    CountDrop(from, to, tag, payload.size());
-    return;
+    return false;
   }
   if (drop_probability_ > 0.0 && sim_->rng().NextBool(drop_probability_)) {
-    CountDrop(from, to, tag, payload.size());
-    return;
+    return false;
   }
-  if (interceptor_) {
-    if (!interceptor_(from, to, payload)) {
-      CountDrop(from, to, tag, payload.size());
-      return;
-    }
-  }
+  return true;
+}
+
+void Network::Deliver(NodeId from, NodeId to, int tag,
+                      std::shared_ptr<const Bytes> payload) {
+  MetricsRegistry& metrics = sim_->metrics();
   metrics.Inc(kMsgsDelivered, from, tag);
-  metrics.Inc(kBytesDelivered, from, tag, payload.size());
+  metrics.Inc(kBytesDelivered, from, tag, payload->size());
 
   SimTime latency;
   if (from == to) {
     latency = sim_->cost().message_handling_us;  // loopback
   } else {
-    latency = sim_->cost().MessageLatency(payload.size());
+    latency = sim_->cost().MessageLatency(payload->size());
     if (jitter_us_ > 0) {
       latency += static_cast<SimTime>(
           sim_->rng().NextBelow(static_cast<uint64_t>(jitter_us_) + 1));
@@ -82,10 +95,71 @@ void Network::Send(NodeId from, NodeId to, Bytes payload) {
   sim_->ScheduleDelivery(depart + latency, to, from, std::move(payload), tag);
 }
 
+void Network::Send(NodeId from, NodeId to, Bytes payload) {
+  const int tag = MessageTag(payload);
+  CountOffered(from, to, tag, payload);
+  if (!PassesFaultChecks(from, to)) {
+    CountDrop(from, to, tag, payload.size());
+    return;
+  }
+  if (interceptor_ && !interceptor_(from, to, payload)) {
+    CountDrop(from, to, tag, payload.size());
+    return;
+  }
+  // The buffer is moved into a shared payload (no copy); its storage recycles
+  // through the BufferPool when the delivery releases it.
+  Deliver(from, to, tag, MakePooledShared(std::move(payload)));
+}
+
 void Network::Multicast(NodeId from, NodeId first, NodeId last,
-                        const Bytes& payload) {
-  for (NodeId id = first; id < last; ++id) {
-    Send(from, id, payload);
+                        const Bytes& payload, NodeId skip) {
+  const int tag = MessageTag(payload);
+  // One shared buffer for every recipient, materialized only when the first
+  // recipient actually survives the fault checks.
+  std::shared_ptr<const Bytes> shared;
+  for (NodeId to = first; to < last; ++to) {
+    if (to == skip) {
+      continue;
+    }
+    // What the old fabric did: copy the payload per recipient, before any
+    // fault check. Recorded so benches can report the before/after ratio.
+    MetricsRegistry& metrics = sim_->metrics();
+    metrics.Inc(kEagerCopies, from, tag);
+    metrics.Inc(kEagerCopyBytes, from, tag, payload.size());
+
+    CountOffered(from, to, tag, payload);
+    if (!PassesFaultChecks(from, to)) {
+      CountDrop(from, to, tag, payload.size());
+      continue;
+    }
+    if (interceptor_) {
+      // Copy-on-write at the fault-injection boundary: the interceptor gets a
+      // private copy, so a mutation for this recipient can never alias into
+      // the buffer other recipients (or the caller) see.
+      Bytes copy = payload;
+      CountCopy(from, tag, copy.size());
+      if (!interceptor_(from, to, copy)) {
+        CountDrop(from, to, tag, copy.size());
+        continue;
+      }
+      if (copy == payload) {
+        // Untouched: fold back onto the shared buffer so downstream
+        // identity-keyed caches still see one buffer. The private copy
+        // doubles as the shared buffer if none exists yet.
+        if (shared == nullptr) {
+          shared = MakePooledShared(std::move(copy));
+        }
+        Deliver(from, to, tag, shared);
+      } else {
+        Deliver(from, to, tag, MakePooledShared(std::move(copy)));
+      }
+    } else {
+      if (shared == nullptr) {
+        CountCopy(from, tag, payload.size());
+        shared = MakePooledSharedCopy(payload);
+      }
+      Deliver(from, to, tag, shared);
+    }
   }
 }
 
@@ -123,6 +197,22 @@ uint64_t Network::bytes_offered() const {
 
 uint64_t Network::bytes_delivered() const {
   return sim_->metrics().Total(kBytesDelivered);
+}
+
+uint64_t Network::payload_copies() const {
+  return sim_->metrics().Total(kPayloadCopies);
+}
+
+uint64_t Network::bytes_copied() const {
+  return sim_->metrics().Total(kBytesCopied);
+}
+
+uint64_t Network::eager_copies() const {
+  return sim_->metrics().Total(kEagerCopies);
+}
+
+uint64_t Network::eager_copy_bytes() const {
+  return sim_->metrics().Total(kEagerCopyBytes);
 }
 
 void Network::ResetStats() { sim_->metrics().ResetPrefix("net."); }

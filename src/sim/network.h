@@ -5,11 +5,21 @@
 // fault-injection experiments need: partitions, per-link drop probability,
 // node isolation (crash), and an interceptor hook that can observe, drop or
 // rewrite messages in flight (a network-level Byzantine adversary).
+//
+// Zero-copy fabric: payloads travel as std::shared_ptr<const Bytes>. A
+// multicast materializes one shared buffer lazily — after the fault checks,
+// only when at least one recipient survives — and schedules every delivery
+// against it; a 100%-dropped multicast copies nothing. When an interceptor is
+// installed the fabric falls back to copy-on-write at the fault-injection
+// boundary: each recipient gets a private copy to mutate, and unchanged
+// copies are folded back onto the shared buffer, so one recipient's rewrite
+// can never alias into another's bytes.
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <utility>
 
@@ -25,11 +35,17 @@ class Network {
 
   // Sends `payload` from `from` to `to`. Delivery is scheduled after the cost
   // model's latency unless a fault suppresses it. Self-sends are delivered
-  // with only handling cost (loopback).
+  // with only handling cost (loopback). The buffer is moved, never copied.
   void Send(NodeId from, NodeId to, Bytes payload);
 
-  // Convenience: sends a copy to every id in [first, last).
-  void Multicast(NodeId from, NodeId first, NodeId last, const Bytes& payload);
+  // Sends every id in [first, last) the *same* shared buffer (except `skip`,
+  // if in range). The caller keeps ownership of `payload`; at most one copy
+  // is made no matter how many recipients there are (zero if every recipient
+  // is dropped), plus one private copy per recipient when an interceptor is
+  // installed.
+  static constexpr NodeId kNoSkip = -1;
+  void Multicast(NodeId from, NodeId first, NodeId last, const Bytes& payload,
+                 NodeId skip = kNoSkip);
 
   // --- Fault injection -----------------------------------------------------
 
@@ -51,6 +67,7 @@ class Network {
 
   // Interceptor: runs for every message that would be delivered. Returning
   // false drops the message; the payload may be mutated (Byzantine network).
+  // In a multicast each invocation operates on a private copy of the payload.
   using Interceptor = std::function<bool(NodeId from, NodeId to, Bytes& payload)>;
   void SetInterceptor(Interceptor fn) { interceptor_ = std::move(fn); }
 
@@ -66,12 +83,29 @@ class Network {
   uint64_t messages_dropped() const;
   uint64_t bytes_offered() const;
   uint64_t bytes_delivered() const;
+  // Real payload copies the fabric performed ("hot.payload_copies" /
+  // "hot.bytes_copied"), and what the old copy-per-recipient fabric would
+  // have performed ("hot.eager_*") — the before/after pair the wall-clock
+  // bench reports.
+  uint64_t payload_copies() const;
+  uint64_t bytes_copied() const;
+  uint64_t eager_copies() const;
+  uint64_t eager_copy_bytes() const;
   // Clears the network's metrics (leaves other layers' metrics alone).
   void ResetStats();
 
  private:
   bool LinkBlocked(NodeId a, NodeId b) const;
+  // Consumes the per-message fault decisions (isolation, blocked link, random
+  // drop) in the exact order the pre-zero-copy fabric did, so same-seed RNG
+  // streams are unchanged.
+  bool PassesFaultChecks(NodeId from, NodeId to);
   void CountDrop(NodeId from, NodeId to, int tag, size_t size);
+  void CountOffered(NodeId from, NodeId to, int tag, const Bytes& payload);
+  void CountCopy(NodeId from, int tag, size_t size);
+  // Counts the delivery and schedules it after the cost model's latency.
+  void Deliver(NodeId from, NodeId to, int tag,
+               std::shared_ptr<const Bytes> payload);
 
   Simulation* sim_;
   std::set<std::pair<NodeId, NodeId>> blocked_links_;  // stored as (min,max)

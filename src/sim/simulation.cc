@@ -41,15 +41,24 @@ void Simulation::ChargeCpu(SimTime cpu_cost) {
 }
 
 void Simulation::ScheduleDelivery(SimTime when, NodeId to, NodeId from,
-                                  Bytes payload, int tag) {
+                                  std::shared_ptr<const Bytes> payload,
+                                  int tag) {
   queue_.push(Event{when, next_seq_++, to,
                     [this, to, from, tag, payload = std::move(payload)]() {
                       SimNode* node = GetNode(to);
                       if (node != nullptr) {
                         trace_.Record(TraceEvent::kMsgDeliver, now_, from, to,
-                                      payload.size(),
+                                      payload->size(),
                                       static_cast<uint64_t>(tag));
-                        node->OnMessage(from, payload);
+                        // Expose the shared buffer to the handler so the
+                        // receive path can key caches by buffer identity.
+                        // Saved/restored because OnMessage may replay stashed
+                        // wires through nested OnMessage calls.
+                        std::shared_ptr<const Bytes> prev =
+                            std::move(current_delivery_);
+                        current_delivery_ = payload;
+                        node->OnMessage(from, *payload);
+                        current_delivery_ = std::move(prev);
                       }
                     },
                     0});

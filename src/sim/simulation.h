@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/digest_memo.h"
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 #include "src/util/bytes.h"
@@ -101,9 +103,21 @@ class Simulation {
   }
 
   // Internal: used by Network to deliver messages with node serialization.
-  // `tag` labels the payload (message type) for trace records.
-  void ScheduleDelivery(SimTime when, NodeId to, NodeId from, Bytes payload,
-                        int tag = -1);
+  // `tag` labels the payload (message type) for trace records. The payload is
+  // an immutable shared buffer: a multicast schedules n deliveries against
+  // one buffer instead of n copies.
+  void ScheduleDelivery(SimTime when, NodeId to, NodeId from,
+                        std::shared_ptr<const Bytes> payload, int tag = -1);
+
+  // The shared buffer of the message delivery currently being handled, or
+  // null outside OnMessage. Lets receive-side code (Channel::Open) key caches
+  // by buffer identity without changing the SimNode::OnMessage signature.
+  const std::shared_ptr<const Bytes>& current_delivery() const {
+    return current_delivery_;
+  }
+
+  // Envelope digests memoized per delivered buffer (see digest_memo.h).
+  DeliveryDigestMemo& digest_memo() { return digest_memo_; }
 
  private:
   struct Event {
@@ -141,6 +155,8 @@ class Simulation {
   MetricsRegistry metrics_;
   EventTrace trace_;
   Network* network_;
+  std::shared_ptr<const Bytes> current_delivery_;
+  DeliveryDigestMemo digest_memo_;
 };
 
 }  // namespace bftbase

@@ -1,0 +1,56 @@
+#include "src/util/bufpool.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/hotpath.h"
+
+namespace bftbase {
+
+namespace {
+std::vector<Bytes>& Freelist() {
+  static std::vector<Bytes> list;
+  return list;
+}
+}  // namespace
+
+Bytes BufferPool::Acquire() {
+  auto& list = Freelist();
+  if (list.empty()) {
+    ++hotpath::counters().encode_allocs;
+    return Bytes();
+  }
+  Bytes buf = std::move(list.back());
+  list.pop_back();
+  buf.clear();  // keeps capacity
+  ++hotpath::counters().encode_reuses;
+  return buf;
+}
+
+void BufferPool::Release(Bytes buf) {
+  auto& list = Freelist();
+  if (buf.capacity() == 0 || buf.capacity() > kMaxPooledCapacity ||
+      list.size() >= kMaxPooled) {
+    return;  // let the vector free itself
+  }
+  list.push_back(std::move(buf));
+}
+
+size_t BufferPool::Size() { return Freelist().size(); }
+
+std::shared_ptr<const Bytes> MakePooledShared(Bytes buf) {
+  return std::shared_ptr<const Bytes>(new Bytes(std::move(buf)),
+                                      [](const Bytes* p) {
+                                        BufferPool::Release(
+                                            std::move(*const_cast<Bytes*>(p)));
+                                        delete p;
+                                      });
+}
+
+std::shared_ptr<const Bytes> MakePooledSharedCopy(BytesView data) {
+  Bytes buf = BufferPool::Acquire();
+  buf.assign(data.begin(), data.end());
+  return MakePooledShared(std::move(buf));
+}
+
+}  // namespace bftbase

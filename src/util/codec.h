@@ -11,13 +11,27 @@
 #include <cstring>
 #include <string>
 
+#include "src/util/bufpool.h"
 #include "src/util/bytes.h"
 
 namespace bftbase {
 
 class Encoder {
  public:
-  Encoder() = default;
+  // Encoders draw their buffer from the process-wide BufferPool so the encode
+  // hot path reuses capacity instead of allocating per message. A buffer that
+  // is never Take()n goes back to the pool on destruction; Take()n buffers
+  // return when sent through the network (see MakePooledShared) or are freed
+  // normally by whoever keeps them.
+  Encoder() : buf_(BufferPool::Acquire()) {}
+  ~Encoder() {
+    if (buf_.capacity() > 0) {
+      BufferPool::Release(std::move(buf_));
+    }
+  }
+
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
 

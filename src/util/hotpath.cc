@@ -1,0 +1,20 @@
+#include "src/util/hotpath.h"
+
+namespace bftbase {
+namespace hotpath {
+
+namespace {
+Counters g_counters;
+bool g_caches_enabled = true;
+}  // namespace
+
+Counters& counters() { return g_counters; }
+
+void ResetCounters() { g_counters = Counters{}; }
+
+bool caches_enabled() { return g_caches_enabled; }
+
+void SetCachesEnabled(bool enabled) { g_caches_enabled = enabled; }
+
+}  // namespace hotpath
+}  // namespace bftbase

@@ -1,0 +1,47 @@
+// Process-wide hot-path instrumentation and optimization switches.
+//
+// The zero-copy fabric and the crypto caches optimize *real* CPU work (SHA-256
+// compressions, allocations, payload memcpy) without touching the simulated
+// cost model, so the counters here measure what actually got cheaper. They
+// live below the sim layer because crypto and the codec cannot see a
+// MetricsRegistry; SyncHotPathCounters (src/sim/metrics.h) copies them into a
+// registry so benches can snapshot/diff them per phase.
+//
+// SetCachesEnabled(false) turns off every result cache (digest memo, HMAC
+// midstates, session-key reuse) while keeping behaviour byte-identical; the
+// wall-clock bench uses it to measure honest before/after numbers in one
+// binary.
+#ifndef SRC_UTIL_HOTPATH_H_
+#define SRC_UTIL_HOTPATH_H_
+
+#include <cstdint>
+
+namespace bftbase {
+namespace hotpath {
+
+struct Counters {
+  // Crypto (src/crypto/sha256.cc).
+  uint64_t sha256_invocations = 0;  // Final() calls == completed hashes
+  uint64_t sha256_blocks = 0;       // 64-byte compression rounds
+  uint64_t bytes_hashed = 0;        // bytes fed through Update()
+  // Encode-buffer pool (src/util/bufpool.cc).
+  uint64_t encode_allocs = 0;  // pool misses: a fresh heap buffer was made
+  uint64_t encode_reuses = 0;  // pool hits: capacity recycled from the pool
+  // Delivered-envelope digest memo (src/sim/digest_memo.cc).
+  uint64_t digest_memo_hits = 0;
+  uint64_t digest_memo_misses = 0;
+};
+
+// Mutable singleton; single-threaded simulation, so plain loads/stores.
+Counters& counters();
+void ResetCounters();
+
+// Result caches on/off (default on). Disabling reproduces the pre-cache
+// hashing profile exactly; outputs are identical either way.
+bool caches_enabled();
+void SetCachesEnabled(bool enabled);
+
+}  // namespace hotpath
+}  // namespace bftbase
+
+#endif  // SRC_UTIL_HOTPATH_H_

@@ -1,6 +1,7 @@
 #include "src/workload/andrew.h"
 
 #include "src/sim/network.h"
+#include "src/util/hotpath.h"
 #include "src/util/log.h"
 
 namespace bftbase {
@@ -42,10 +43,20 @@ AndrewResult RunAndrewBenchmark(FsSession& fs, Simulation& sim,
     SimTime time = 0;
     uint64_t messages = 0;
     uint64_t bytes = 0;
+    uint64_t sha256_blocks = 0;
+    uint64_t bytes_hashed = 0;
+    uint64_t payload_copies = 0;
+    uint64_t encode_allocs = 0;
   };
   auto phase_begin = [&] {
-    return PhaseSnap{sim.Now(), sim.network().messages_delivered(),
-                     sim.network().bytes_delivered()};
+    const hotpath::Counters& hot = hotpath::counters();
+    return PhaseSnap{sim.Now(),
+                     sim.network().messages_delivered(),
+                     sim.network().bytes_delivered(),
+                     hot.sha256_blocks,
+                     hot.bytes_hashed,
+                     sim.network().payload_copies(),
+                     hot.encode_allocs};
   };
   auto phase_end = [&](const char* name, const PhaseSnap& snap,
                        uint64_t ops) {
@@ -56,6 +67,15 @@ AndrewResult RunAndrewBenchmark(FsSession& fs, Simulation& sim,
     phase.messages_delivered =
         sim.network().messages_delivered() - snap.messages;
     phase.bytes_delivered = sim.network().bytes_delivered() - snap.bytes;
+    const hotpath::Counters& hot = hotpath::counters();
+    phase.sha256_blocks = hot.sha256_blocks - snap.sha256_blocks;
+    phase.bytes_hashed = hot.bytes_hashed - snap.bytes_hashed;
+    phase.payload_copies = sim.network().payload_copies() -
+                           snap.payload_copies;
+    phase.encode_allocs = hot.encode_allocs - snap.encode_allocs;
+    // Mirror the hot-path counters into the sim's registry so they appear in
+    // metrics dumps alongside the per-phase traffic counters.
+    SyncHotPathCounters(sim.metrics());
     result.phases.push_back(std::move(phase));
   };
 

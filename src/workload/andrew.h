@@ -47,6 +47,13 @@ struct AndrewPhaseResult {
   // MetricsRegistry; excludes dropped/suppressed messages).
   uint64_t messages_delivered = 0;
   uint64_t bytes_delivered = 0;
+  // Real hot-path work done during the phase (src/util/hotpath.h deltas):
+  // SHA-256 compressions, bytes through the hashers, payload copies by the
+  // network fabric, and encode-buffer pool misses.
+  uint64_t sha256_blocks = 0;
+  uint64_t bytes_hashed = 0;
+  uint64_t payload_copies = 0;
+  uint64_t encode_allocs = 0;
 };
 
 struct AndrewResult {

@@ -5,6 +5,7 @@
 #include "src/crypto/digest.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
+#include "src/util/hotpath.h"
 
 namespace bftbase {
 namespace {
@@ -132,6 +133,76 @@ TEST(KeyTable, SigningKeysSurviveRefresh) {
   keys.RefreshKeysFor(2);
   EXPECT_EQ(HexEncode(before), HexEncode(keys.SigningKey(2)));
   EXPECT_NE(HexEncode(keys.SigningKey(2)), HexEncode(keys.SigningKey(3)));
+}
+
+TEST(HmacKey, MatchesPlainHmacSha256) {
+  // The midstate-cloning fast path must be byte-identical to the reference
+  // implementation, for every key-size regime and message length.
+  std::vector<Bytes> test_keys = {Bytes(20, 0x0b), ToBytes("Jefe"),
+                                  Bytes(64, 0x55), Bytes(131, 0xaa)};
+  std::vector<Bytes> messages = {Bytes(), ToBytes("Hi There"), Bytes(64, 0xdd),
+                                 Bytes(1000, 0x7e)};
+  for (const Bytes& key : test_keys) {
+    HmacKey fast(key);
+    for (const Bytes& message : messages) {
+      auto expected = HmacSha256(key, message);
+      auto got = fast.Hmac(message);
+      EXPECT_EQ(HexEncode(BytesView(got.data(), got.size())),
+                HexEncode(BytesView(expected.data(), expected.size())));
+      EXPECT_EQ(fast.MacOf(message), ComputeMac(key, message));
+    }
+  }
+}
+
+TEST(KeyTable, PairMacMatchesComputeMacWithAndWithoutCaches) {
+  KeyTable keys(0x5150, 8);
+  Bytes message = ToBytes("pair mac message");
+  Mac reference = ComputeMac(keys.SessionKey(2, 5), message);
+  EXPECT_EQ(keys.PairMac(2, 5, message), reference);
+  EXPECT_EQ(keys.PairMac(5, 2, message), reference);  // symmetric
+  // Second call hits the session cache and must agree with the first.
+  EXPECT_EQ(keys.PairMac(2, 5, message), reference);
+  hotpath::SetCachesEnabled(false);
+  EXPECT_EQ(keys.PairMac(2, 5, message), reference);
+  hotpath::SetCachesEnabled(true);
+}
+
+TEST(KeyTable, PairMacCacheInvalidatedByKeyRefresh) {
+  KeyTable keys(0x5150, 8);
+  Bytes message = ToBytes("m");
+  Mac before = keys.PairMac(1, 3, message);  // warms the (1,3) cache slot
+  keys.RefreshKeysFor(3);
+  Mac after = keys.PairMac(1, 3, message);
+  EXPECT_NE(before, after);  // stale cached HmacKey must not survive refresh
+  EXPECT_EQ(after, ComputeMac(keys.SessionKey(1, 3), message));
+  // Pairs not involving node 3 keep their keys.
+  EXPECT_EQ(keys.PairMac(2, 4, message),
+            ComputeMac(keys.SessionKey(2, 4), message));
+}
+
+TEST(KeyTable, SignMatchesHmacOverSigningKey) {
+  KeyTable keys(0x77, 4);
+  Bytes message = ToBytes("signed payload");
+  auto reference = HmacSha256(keys.SigningKey(2), message);
+  auto got = keys.Sign(2, message);
+  EXPECT_EQ(HexEncode(BytesView(got.data(), got.size())),
+            HexEncode(BytesView(reference.data(), reference.size())));
+  // Signing keys survive refresh, so cached signing HmacKeys stay valid.
+  keys.RefreshKeysFor(2);
+  auto after = keys.Sign(2, message);
+  EXPECT_EQ(HexEncode(BytesView(after.data(), after.size())),
+            HexEncode(BytesView(reference.data(), reference.size())));
+}
+
+TEST(Sha256, HotPathCountersTrackWork) {
+  hotpath::ResetCounters();
+  const hotpath::Counters before = hotpath::counters();
+  Bytes data(150, 'q');  // 150 message bytes: 3 compressions with padding
+  Sha256::Hash(data);
+  const hotpath::Counters& after = hotpath::counters();
+  EXPECT_EQ(after.sha256_invocations - before.sha256_invocations, 1u);
+  EXPECT_EQ(after.bytes_hashed - before.bytes_hashed, 150u);
+  EXPECT_EQ(after.sha256_blocks - before.sha256_blocks, 3u);
 }
 
 TEST(Authenticator, VerifiesOnlyAddressedEntry) {

@@ -56,6 +56,19 @@ SweepOutcome RunScenario(const std::string& scenario, uint64_t seed) {
     // reply wires only, so the replica's audited protocol state (executed
     // batches, checkpoints, reply cache) must stay in agreement.
     group.replica(3).SetCorruptReplies(true);
+  } else if (scenario == "interceptor_corrupt_backup") {
+    // Protocol-level aliasing check for the zero-copy fabric: flip a byte in
+    // every wire destined to one backup. The fabric must hand that backup a
+    // private copy-on-write buffer, so only its channel sees (and rejects)
+    // the corruption; the shared multicast buffer the other replicas receive
+    // stays intact and the protocol completes as if one replica were mute.
+    group.sim().network().SetInterceptor(
+        [](NodeId, NodeId to, Bytes& payload) {
+          if (to == 2 && !payload.empty()) {
+            payload.back() ^= 0x01;
+          }
+          return true;
+        });
   } else if (scenario == "partition_heal") {
     group.sim().network().Isolate(2);
   } else if (scenario == "message_loss") {
@@ -94,7 +107,7 @@ TEST(FaultSweep, CorrectReplicasNeverViolateInvariants) {
   const std::vector<std::string> scenarios = {
       "baseline",         "muted_backup",    "muted_primary",
       "equivocating_primary", "corrupt_replies", "partition_heal",
-      "message_loss"};
+      "message_loss",     "interceptor_corrupt_backup"};
   for (const std::string& scenario : scenarios) {
     for (uint64_t seed : {11ull, 12ull}) {
       SCOPED_TRACE(scenario + " seed " + std::to_string(seed));

@@ -1,9 +1,14 @@
 // Unit tests for BFT message encodings and the authenticated channel.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/bft/channel.h"
 #include "src/bft/message.h"
+#include "src/sim/digest_memo.h"
+#include "src/sim/network.h"
 #include "src/sim/simulation.h"
+#include "src/util/hotpath.h"
 
 namespace bftbase {
 namespace {
@@ -206,6 +211,130 @@ TEST_F(ChannelTest, KeyRefreshInvalidatesOldMacsNotSignatures) {
   keys_.RefreshKeysFor(0);
   EXPECT_FALSE(bob_.Open(mac_wire).ok());    // session key rotated
   EXPECT_TRUE(bob_.Open(signed_wire).ok());  // signatures survive (proofs!)
+}
+
+// Sim node that opens every incoming wire through a channel, so Open() runs
+// inside a network delivery and the envelope-digest memo is in play.
+class OpeningNode : public SimNode {
+ public:
+  explicit OpeningNode(Channel* channel) : channel_(channel) {}
+  void OnMessage(NodeId, const Bytes& payload) override {
+    oks.push_back(channel_->Open(payload).ok());
+  }
+  std::vector<bool> oks;
+
+ private:
+  Channel* channel_;
+};
+
+TEST_F(ChannelTest, DigestMemoServesSharedMulticastBuffer) {
+  Channel carol(&sim_, &keys_, config_, 2);
+  OpeningNode bob_node(&bob_);
+  OpeningNode carol_node(&carol);
+  sim_.AddNode(1, &bob_node);
+  sim_.AddNode(2, &carol_node);
+  Bytes wire = alice_.SealSigned(MsgType::kPrePrepare, ToBytes("shared"));
+  const hotpath::Counters before = hotpath::counters();
+  sim_.After(0, 0, [&] { sim_.network().Multicast(0, 1, 3, wire); });
+  sim_.RunUntilIdle();
+  ASSERT_EQ(bob_node.oks.size(), 1u);
+  ASSERT_EQ(carol_node.oks.size(), 1u);
+  EXPECT_TRUE(bob_node.oks[0]);
+  EXPECT_TRUE(carol_node.oks[0]);
+  // Both recipients received the same shared buffer: the first Open computed
+  // the envelope digest (miss + store), the second reused it (hit).
+  const hotpath::Counters& after = hotpath::counters();
+  EXPECT_EQ(after.digest_memo_hits - before.digest_memo_hits, 1u);
+  EXPECT_GE(after.digest_memo_misses - before.digest_memo_misses, 1u);
+}
+
+TEST_F(ChannelTest, DigestMemoDoesNotCacheAuthValidity) {
+  // A MAC addressed to bob rides one shared multicast buffer to bob and
+  // carol. Carol's Open sees a digest-memo hit for the shared buffer but
+  // must still reject: the memo caches digests, never verification results.
+  Channel carol(&sim_, &keys_, config_, 2);
+  OpeningNode bob_node(&bob_);
+  OpeningNode carol_node(&carol);
+  sim_.AddNode(1, &bob_node);
+  sim_.AddNode(2, &carol_node);
+  Bytes wire = alice_.SealMac(MsgType::kReply, ToBytes("for bob"), 1);
+  sim_.After(0, 0, [&] { sim_.network().Multicast(0, 1, 3, wire); });
+  sim_.RunUntilIdle();
+  ASSERT_EQ(bob_node.oks.size(), 1u);
+  ASSERT_EQ(carol_node.oks.size(), 1u);
+  EXPECT_TRUE(bob_node.oks[0]);
+  EXPECT_FALSE(carol_node.oks[0]);
+}
+
+TEST_F(ChannelTest, CorruptAuthRejectedThroughNetworkDelivery) {
+  // Regression for the digest memo + MAC caches: an honest wire warms every
+  // cache, then a corrupt-auth wire with the *same* payload (same envelope
+  // digest) must still be rejected when delivered through the network.
+  OpeningNode bob_node(&bob_);
+  sim_.AddNode(1, &bob_node);
+  Bytes honest = alice_.SealAuthenticated(MsgType::kCommit, ToBytes("x"));
+  alice_.CorruptOutgoingAuth(true);
+  Bytes corrupt = alice_.SealAuthenticated(MsgType::kCommit, ToBytes("x"));
+  alice_.CorruptOutgoingAuth(false);
+  sim_.After(0, 0, [&] {
+    sim_.network().Send(0, 1, honest);
+    sim_.network().Send(0, 1, corrupt);
+  });
+  sim_.RunUntilIdle();
+  ASSERT_EQ(bob_node.oks.size(), 2u);
+  EXPECT_TRUE(bob_node.oks[0]);
+  EXPECT_FALSE(bob_node.oks[1]);
+}
+
+TEST_F(ChannelTest, InterceptorMutatedCopyRejectedOthersUnaffected) {
+  // The fabric gives a mutated recipient a private buffer (never the shared
+  // one), so the stale memo entry for the shared buffer cannot vouch for the
+  // corrupted wire. Carol must reject; bob still verifies.
+  Channel carol(&sim_, &keys_, config_, 2);
+  OpeningNode bob_node(&bob_);
+  OpeningNode carol_node(&carol);
+  sim_.AddNode(1, &bob_node);
+  sim_.AddNode(2, &carol_node);
+  sim_.network().SetInterceptor([](NodeId, NodeId to, Bytes& payload) {
+    if (to == 2 && !payload.empty()) {
+      payload[payload.size() / 2] ^= 0x01;
+    }
+    return true;
+  });
+  Bytes wire = alice_.SealSigned(MsgType::kPrepare, ToBytes("honest"));
+  sim_.After(0, 0, [&] { sim_.network().Multicast(0, 1, 3, wire); });
+  sim_.RunUntilIdle();
+  ASSERT_EQ(bob_node.oks.size(), 1u);
+  ASSERT_EQ(carol_node.oks.size(), 1u);
+  EXPECT_TRUE(bob_node.oks[0]);
+  EXPECT_FALSE(carol_node.oks[0]);
+}
+
+TEST(DeliveryDigestMemo, StaleAddressDoesNotServeOldDigest) {
+  // The memo is keyed by buffer address; a freed buffer's address can be
+  // reused by a later allocation. The weak_ptr identity check must treat the
+  // reused address as a miss, never serving the old digest.
+  DeliveryDigestMemo memo;
+  Bytes storage = ToBytes("payload bytes");
+  auto no_op = [](const Bytes*) {};
+  std::shared_ptr<const Bytes> first(&storage, no_op);
+  memo.Store(first, Digest::Of(ToBytes("old digest input")));
+  ASSERT_TRUE(memo.Lookup(first).has_value());
+  first.reset();  // "free" the buffer; the address is about to be reused
+  std::shared_ptr<const Bytes> second(&storage, no_op);
+  EXPECT_FALSE(memo.Lookup(second).has_value());
+}
+
+TEST(DeliveryDigestMemo, DisabledHotPathCachesAlwaysMiss) {
+  // With hotpath caches off (the bench's "before" profile) the memo must be
+  // inert: Store is a no-op and Lookup always misses.
+  DeliveryDigestMemo memo;
+  auto buf = std::make_shared<const Bytes>(ToBytes("buf"));
+  hotpath::SetCachesEnabled(false);
+  memo.Store(buf, Digest::Of(ToBytes("d")));
+  EXPECT_FALSE(memo.Lookup(buf).has_value());
+  hotpath::SetCachesEnabled(true);
+  EXPECT_EQ(memo.size(), 0u);
 }
 
 }  // namespace

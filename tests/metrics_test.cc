@@ -3,6 +3,7 @@
 
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
+#include "src/util/hotpath.h"
 
 namespace bftbase {
 namespace {
@@ -74,6 +75,36 @@ TEST(MetricsRegistry, ResetPrefixLeavesOtherNamesAlone) {
   EXPECT_EQ(metrics.Total("replica.execs"), 5u);
   metrics.Reset();
   EXPECT_EQ(metrics.Total("replica.execs"), 0u);
+}
+
+TEST(MetricsRegistry, SetOverwritesLikeAGauge) {
+  MetricsRegistry metrics;
+  metrics.Inc("gauge", 0, 1, 5);
+  metrics.Set("gauge", 3, 0, 1);  // overwrite, not add
+  EXPECT_EQ(metrics.Get("gauge", 0, 1), 3u);
+  metrics.Set("gauge", 12, 0, 1);
+  EXPECT_EQ(metrics.Get("gauge", 0, 1), 12u);
+  // Other cells under the same name are untouched.
+  metrics.Inc("gauge", 2, 2, 7);
+  metrics.Set("gauge", 1, 0, 1);
+  EXPECT_EQ(metrics.Get("gauge", 2, 2), 7u);
+  EXPECT_EQ(metrics.Total("gauge"), 8u);
+}
+
+TEST(MetricsRegistry, SyncHotPathCountersMirrorsGlobals) {
+  hotpath::ResetCounters();
+  hotpath::counters().sha256_blocks = 42;
+  hotpath::counters().bytes_hashed = 4242;
+  hotpath::counters().encode_allocs = 7;
+  MetricsRegistry metrics;
+  SyncHotPathCounters(metrics);
+  EXPECT_EQ(metrics.Get("hot.sha256_blocks"), 42u);
+  EXPECT_EQ(metrics.Get("hot.bytes_hashed"), 4242u);
+  EXPECT_EQ(metrics.Get("hot.encode_allocs"), 7u);
+  // Syncing twice is idempotent (gauge semantics, not accumulation).
+  SyncHotPathCounters(metrics);
+  EXPECT_EQ(metrics.Get("hot.sha256_blocks"), 42u);
+  hotpath::ResetCounters();
 }
 
 TEST(EventTrace, DisabledRecordsNothing) {

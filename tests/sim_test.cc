@@ -279,6 +279,94 @@ TEST(Network, MulticastReachesRange) {
   }
 }
 
+TEST(Network, MulticastSharesOneCopyAcrossRecipients) {
+  Simulation sim(1);
+  RecordingNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    sim.AddNode(i, &nodes[i]);
+  }
+  Bytes payload = ToBytes("shared payload");
+  sim.After(0, 0, [&] { sim.network().Multicast(0, 0, 4, payload); });
+  sim.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(nodes[i].messages.size(), 1u) << i;
+    EXPECT_EQ(ToString(nodes[i].messages[0].second), "shared payload");
+  }
+  // One materialization of the shared buffer for n recipients; the old
+  // copy-per-recipient fabric (the "eager" counters) would have made four.
+  EXPECT_EQ(sim.network().payload_copies(), 1u);
+  EXPECT_EQ(sim.network().bytes_copied(), payload.size());
+  EXPECT_EQ(sim.network().eager_copies(), 4u);
+  EXPECT_EQ(sim.network().eager_copy_bytes(), 4u * payload.size());
+  EXPECT_EQ(sim.metrics().Total("hot.payload_copies"), 1u);
+}
+
+TEST(Network, FullDropMulticastCopiesNothing) {
+  // With every recipient dropped, the lazy fabric must never materialize the
+  // shared buffer: zero payload copies, zero bytes copied.
+  Simulation sim(42);
+  RecordingNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    sim.AddNode(i, &nodes[i]);
+  }
+  sim.network().SetDropProbability(1.0);
+  sim.After(0, 0, [&] {
+    sim.network().Multicast(0, 0, 4, ToBytes("never delivered"));
+  });
+  sim.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(nodes[i].messages.empty()) << i;
+  }
+  EXPECT_EQ(sim.network().messages_dropped(), 4u);
+  EXPECT_EQ(sim.metrics().Total("hot.payload_copies"), 0u);
+  EXPECT_EQ(sim.metrics().Total("hot.bytes_copied"), 0u);
+  EXPECT_EQ(sim.network().payload_copies(), 0u);
+}
+
+TEST(Network, MulticastSkipExcludesOnlySkippedNode) {
+  Simulation sim(1);
+  RecordingNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    sim.AddNode(i, &nodes[i]);
+  }
+  sim.After(0, 0, [&] {
+    sim.network().Multicast(0, 0, 4, ToBytes("not to self"), /*skip=*/0);
+  });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(nodes[0].messages.empty());
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(nodes[i].messages.size(), 1u) << i;
+  }
+  EXPECT_EQ(sim.network().payload_copies(), 1u);
+}
+
+TEST(Network, InterceptorMutationDoesNotAliasOtherRecipients) {
+  // Copy-on-write at the fault-injection boundary: an interceptor mutation
+  // aimed at one recipient must not leak into the shared buffer the other
+  // recipients receive, nor into the caller's buffer.
+  Simulation sim(1);
+  RecordingNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    sim.AddNode(i, &nodes[i]);
+  }
+  sim.network().SetInterceptor([](NodeId, NodeId to, Bytes& payload) {
+    if (to == 2 && !payload.empty()) {
+      payload[0] = 'X';
+    }
+    return true;
+  });
+  Bytes original = ToBytes("clean");
+  sim.After(0, 0, [&] { sim.network().Multicast(0, 0, 4, original); });
+  sim.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(nodes[i].messages.size(), 1u) << i;
+    EXPECT_EQ(ToString(nodes[i].messages[0].second),
+              i == 2 ? "Xlean" : "clean")
+        << i;
+  }
+  EXPECT_EQ(ToString(original), "clean");  // caller's buffer untouched
+}
+
 TEST(CostModel, LatencyScalesWithSize) {
   CostModel cost;
   EXPECT_GT(cost.MessageLatency(10000), cost.MessageLatency(10));
