@@ -47,6 +47,8 @@ FaultScenarioResult RunScenario(const std::string& name,
   const Network& net = group->sim().network();
   table.AddRow({name,
                 FormatPercent(result.Availability()),
+                FormatCount(result.timeouts),
+                FormatCount(result.rejected),
                 FormatUs(result.mean_latency_us),
                 FormatMs(result.max_latency_us),
                 FormatCount(result.view_changes),
@@ -56,7 +58,9 @@ FaultScenarioResult RunScenario(const std::string& name,
                 FormatCount(hot_after.sha256_blocks -
                             hot_before.sha256_blocks),
                 FormatCount(net.payload_copies()),
-                result.wrong_result_observed ? "YES (BUG!)" : "no"});
+                result.wrong_results > 0
+                    ? std::to_string(result.wrong_results) + " (BUG!)"
+                    : "0"});
   return result;
 }
 
@@ -64,9 +68,10 @@ FaultScenarioResult RunScenario(const std::string& name,
 
 int main() {
   PrintHeader("E7: fault injection over heterogeneous BASEFS (120 ops each)");
-  Table table({"scenario", "availability", "mean lat (us)", "max lat (ms)",
-               "view changes", "recoveries", "msgs dlvd", "msgs dropped",
-               "sha256 blk", "copies", "wrong results"});
+  Table table({"scenario", "availability", "timeouts", "rejected",
+               "mean lat (us)", "max lat (ms)", "view changes", "recoveries",
+               "msgs dlvd", "msgs dropped", "sha256 blk", "copies",
+               "wrong results"});
 
   RunScenario("no faults", {}, 601, table);
 
@@ -105,6 +110,22 @@ int main() {
                {600 * kMillisecond, FaultKind::kCrashRestart, 2,
                 8 * kSecond}},
               608, table);
+
+  // Network-level adversities (the chaos harness' lever set, hand-written).
+  RunScenario("partition 1|3 heals after 5s",
+              {FaultEvent::Partition(500 * kMillisecond, /*side_mask=*/0b0001,
+                                     5 * kSecond)},
+              609, table);
+
+  RunScenario("drop burst 20% for 5s",
+              {FaultEvent::DropBurst(500 * kMillisecond, 0.2, 5 * kSecond)},
+              610, table);
+
+  RunScenario("duplicate 30% + link delay 5ms",
+              {FaultEvent::Duplicate(300 * kMillisecond, 0.3, 10 * kSecond),
+               FaultEvent::LinkDelay(300 * kMillisecond, 0, 1,
+                                     5 * kMillisecond, 10 * kSecond)},
+              611, table);
 
   table.Print();
   std::printf(

@@ -8,7 +8,11 @@ namespace bftbase {
 
 Client::Client(Simulation* sim, KeyTable* keys, const Config& config,
                NodeId id)
-    : sim_(sim), config_(config), id_(id), channel_(sim, keys, config, id) {
+    : sim_(sim),
+      config_(config),
+      id_(id),
+      channel_(sim, keys, config, id),
+      jitter_rng_(0x636c6a6974746572ULL ^ static_cast<uint64_t>(id)) {
   assert(config.IsClient(id));
   sim_->AddNode(id_, this);
 }
@@ -39,12 +43,7 @@ Result<Bytes> Client::InvokeSync(Bytes op, bool read_only, SimTime timeout) {
   if (!done) {
     // Abandon the operation so the client can be reused; late replies for
     // this timestamp will be ignored.
-    if (pending_.has_value()) {
-      if (pending_->retry_timer != 0) {
-        sim_->Cancel(pending_->retry_timer);
-      }
-      pending_.reset();
-    }
+    Abandon();
     return Unavailable("operation timed out");
   }
   if (!status.ok()) {
@@ -71,10 +70,29 @@ void Client::SendRequest(bool to_all) {
     channel_.Send(config_.PrimaryOf(last_known_view_), std::move(wire));
   }
 
-  // Exponential backoff on retransmission.
+  // Exponential backoff on retransmission (the doubling stays capped at
+  // <<6), plus deterministic per-client jitter of up to +25% from the second
+  // attempt on, so concurrent clients that all timed out during the same
+  // outage do not retransmit in lockstep after it heals. First attempts stay
+  // unjittered: fault-free traffic is byte-identical with or without retries
+  // elsewhere.
   SimTime timeout = config_.client_retry_timeout
                     << std::min(p.attempts - 1, 6);
+  if (p.attempts > 1) {
+    timeout += static_cast<SimTime>(
+        jitter_rng_.NextBelow(static_cast<uint64_t>(timeout / 4) + 1));
+  }
   p.retry_timer = sim_->After(id_, timeout, [this] { OnRetryTimeout(); });
+}
+
+void Client::Abandon() {
+  if (!pending_.has_value()) {
+    return;
+  }
+  if (pending_->retry_timer != 0) {
+    sim_->Cancel(pending_->retry_timer);
+  }
+  pending_.reset();
 }
 
 void Client::OnRetryTimeout() {

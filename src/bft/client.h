@@ -15,6 +15,7 @@
 #include "src/bft/config.h"
 #include "src/bft/message.h"
 #include "src/sim/simulation.h"
+#include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace bftbase {
@@ -32,6 +33,13 @@ class Client : public SimNode {
   // operation completes or `timeout` virtual time passes.
   Result<Bytes> InvokeSync(Bytes op, bool read_only,
                            SimTime timeout = 60 * kSecond);
+
+  // Abandons the outstanding operation without completing it (harness-side
+  // timeout handling). The callback never fires; late replies for the
+  // abandoned timestamp are ignored. No-op when idle. NOTE: the operation
+  // may still execute at the replicas — callers that need exactly-once
+  // visibility must treat an abandoned op as "effect unknown".
+  void Abandon();
 
   void OnMessage(NodeId from, const Bytes& wire) override;
 
@@ -69,6 +77,11 @@ class Client : public SimNode {
   Config config_;
   NodeId id_;
   Channel channel_;
+  // Per-client stream for retransmission jitter: seeded from the client id
+  // only, so it is deterministic, independent of the simulation's RNG (a
+  // retry draw never perturbs other components' randomness), and distinct
+  // across clients (no retry lockstep after a partition heals).
+  Rng jitter_rng_;
   uint64_t next_timestamp_ = 1;
   ViewNum last_known_view_ = 0;
   std::optional<Pending> pending_;

@@ -57,6 +57,10 @@ class Replica : public SimNode {
   uint64_t batches_executed() const;
   uint64_t view_changes_started() const;
   bool in_view_change() const { return in_view_change_; }
+  // Current view-change timeout: doubles while view changes cascade, resets
+  // to config().view_change_timeout once a view installs (tests assert the
+  // reset after cascades).
+  SimTime current_view_change_timeout() const { return view_change_timeout_; }
   const Config& config() const { return config_; }
   ServiceInterface* service() { return service_; }
 

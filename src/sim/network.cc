@@ -12,6 +12,7 @@ namespace {
 constexpr const char kMsgsOffered[] = "net.messages_offered";
 constexpr const char kMsgsDelivered[] = "net.messages_delivered";
 constexpr const char kMsgsDropped[] = "net.messages_dropped";
+constexpr const char kMsgsDuplicated[] = "net.messages_duplicated";
 constexpr const char kBytesOffered[] = "net.bytes_offered";
 constexpr const char kBytesDelivered[] = "net.bytes_delivered";
 constexpr const char kBytesDropped[] = "net.bytes_dropped";
@@ -69,7 +70,28 @@ bool Network::PassesFaultChecks(NodeId from, NodeId to) {
   if (drop_probability_ > 0.0 && sim_->rng().NextBool(drop_probability_)) {
     return false;
   }
+  if (!link_drop_.empty()) {
+    auto it = link_drop_.find(LinkKey(from, to));
+    if (it != link_drop_.end() && sim_->rng().NextBool(it->second)) {
+      return false;
+    }
+  }
   return true;
+}
+
+SimTime Network::DeliveryLatency(NodeId from, NodeId to, size_t size) {
+  SimTime latency = sim_->cost().MessageLatency(size);
+  if (!link_delay_.empty()) {
+    auto it = link_delay_.find(LinkKey(from, to));
+    if (it != link_delay_.end()) {
+      latency += it->second;
+    }
+  }
+  if (jitter_us_ > 0) {
+    latency += static_cast<SimTime>(
+        sim_->rng().NextBelow(static_cast<uint64_t>(jitter_us_) + 1));
+  }
+  return latency;
 }
 
 void Network::Deliver(NodeId from, NodeId to, int tag,
@@ -82,17 +104,34 @@ void Network::Deliver(NodeId from, NodeId to, int tag,
   if (from == to) {
     latency = sim_->cost().message_handling_us;  // loopback
   } else {
-    latency = sim_->cost().MessageLatency(payload->size());
-    if (jitter_us_ > 0) {
-      latency += static_cast<SimTime>(
-          sim_->rng().NextBelow(static_cast<uint64_t>(jitter_us_) + 1));
-    }
+    latency = DeliveryLatency(from, to, payload->size());
   }
   // Messages leave the sender once its handler's accumulated CPU work is
   // done; this is what makes MAC/digest computation show up in end-to-end
   // latency.
   SimTime depart = sim_->CurrentHandlerFinishTime();
-  sim_->ScheduleDelivery(depart + latency, to, from, std::move(payload), tag);
+  sim_->ScheduleDelivery(depart + latency, to, from, payload, tag);
+
+  // Bounded duplication: extra deliveries alias the same shared buffer (no
+  // copy) and draw independent latencies so duplicates can overtake the
+  // original and interleave with later traffic.
+  if (duplicate_probability_ > 0.0 && duplicate_max_ > 0 && from != to &&
+      sim_->rng().NextBool(duplicate_probability_)) {
+    const int copies =
+        1 + static_cast<int>(sim_->rng().NextBelow(
+                static_cast<uint64_t>(duplicate_max_)));
+    const SimTime base = sim_->cost().MessageLatency(payload->size());
+    for (int i = 0; i < copies; ++i) {
+      metrics.Inc(kMsgsDuplicated, from, tag);
+      metrics.Inc(kMsgsDelivered, from, tag);
+      metrics.Inc(kBytesDelivered, from, tag, payload->size());
+      SimTime dup_latency =
+          DeliveryLatency(from, to, payload->size()) +
+          static_cast<SimTime>(
+              sim_->rng().NextBelow(static_cast<uint64_t>(2 * base) + 1));
+      sim_->ScheduleDelivery(depart + dup_latency, to, from, payload, tag);
+    }
+  }
 }
 
 void Network::Send(NodeId from, NodeId to, Bytes payload) {
@@ -175,6 +214,27 @@ void Network::Isolate(NodeId node) { isolated_.insert(node); }
 
 void Network::Heal(NodeId node) { isolated_.erase(node); }
 
+void Network::SetLinkDelay(NodeId a, NodeId b, SimTime extra_us) {
+  if (extra_us <= 0) {
+    link_delay_.erase(LinkKey(a, b));
+  } else {
+    link_delay_[LinkKey(a, b)] = extra_us;
+  }
+}
+
+void Network::SetLinkDropProbability(NodeId a, NodeId b, double p) {
+  if (p <= 0.0) {
+    link_drop_.erase(LinkKey(a, b));
+  } else {
+    link_drop_[LinkKey(a, b)] = p;
+  }
+}
+
+void Network::SetDuplication(double p, int max_copies) {
+  duplicate_probability_ = p;
+  duplicate_max_ = max_copies;
+}
+
 bool Network::LinkBlocked(NodeId a, NodeId b) const {
   return blocked_links_.count({std::min(a, b), std::max(a, b)}) > 0;
 }
@@ -189,6 +249,10 @@ uint64_t Network::messages_delivered() const {
 
 uint64_t Network::messages_dropped() const {
   return sim_->metrics().Total(kMsgsDropped);
+}
+
+uint64_t Network::messages_duplicated() const {
+  return sim_->metrics().Total(kMsgsDuplicated);
 }
 
 uint64_t Network::bytes_offered() const {

@@ -2,9 +2,11 @@
 //
 // Point-to-point datagram transport between SimNodes. Charges the cost model
 // for latency and bandwidth, and exposes the adversarial controls the
-// fault-injection experiments need: partitions, per-link drop probability,
-// node isolation (crash), and an interceptor hook that can observe, drop or
-// rewrite messages in flight (a network-level Byzantine adversary).
+// fault-injection experiments need: blocked links and partitions, global and
+// per-link drop probability, per-link extra delay (reordering across links),
+// bounded message duplication, node isolation (crash), and an interceptor
+// hook that can observe, drop or rewrite messages in flight (a network-level
+// Byzantine adversary).
 //
 // Zero-copy fabric: payloads travel as std::shared_ptr<const Bytes>. A
 // multicast materializes one shared buffer lazily — after the fault checks,
@@ -19,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <utility>
@@ -65,6 +68,24 @@ class Network {
   // Extra random delay in [0, jitter_us] added per message.
   void SetJitter(SimTime jitter_us) { jitter_us_ = jitter_us; }
 
+  // Per-link extra delay (both directions) added to every message on the
+  // link {a, b}. Distinct delays on different links reorder traffic across
+  // links while each link stays FIFO. 0 clears the lever.
+  void SetLinkDelay(NodeId a, NodeId b, SimTime extra_us);
+
+  // Per-link drop probability for {a, b}, checked after the global drop
+  // probability. Draws from the simulation RNG only for links with the
+  // lever set, so unaffected traffic keeps its same-seed behavior.
+  // 0 clears the lever.
+  void SetLinkDropProbability(NodeId a, NodeId b, double p);
+
+  // Bounded message duplication: each non-loopback delivery that survives
+  // the fault checks is duplicated with probability `p`, adding between 1
+  // and `max_copies` extra deliveries. Duplicates alias the original's
+  // shared buffer (zero additional copies) and draw an independent delay so
+  // they can arrive out of order. p = 0 or max_copies = 0 disables.
+  void SetDuplication(double p, int max_copies);
+
   // Interceptor: runs for every message that would be delivered. Returning
   // false drops the message; the payload may be mutated (Byzantine network).
   // In a multicast each invocation operates on a private copy of the payload.
@@ -76,11 +97,14 @@ class Network {
   // and message type (first payload byte when it is a valid MsgType).
   // "Offered" counts every Send() call; "delivered" only messages that
   // survived isolation/blocked-link/drop/interceptor checks and were
-  // scheduled for delivery; "dropped" is the difference. Offered ==
-  // delivered + dropped always holds.
+  // scheduled for delivery; "dropped" is the difference; "duplicated"
+  // counts the extra deliveries the duplication lever scheduled (each also
+  // counts as delivered). Offered - dropped + duplicated == delivered
+  // always holds.
   uint64_t messages_offered() const;
   uint64_t messages_delivered() const;
   uint64_t messages_dropped() const;
+  uint64_t messages_duplicated() const;
   uint64_t bytes_offered() const;
   uint64_t bytes_delivered() const;
   // Real payload copies the fabric performed ("hot.payload_copies" /
@@ -95,23 +119,36 @@ class Network {
   void ResetStats();
 
  private:
+  using Link = std::pair<NodeId, NodeId>;  // stored as (min,max)
+  static Link LinkKey(NodeId a, NodeId b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
   bool LinkBlocked(NodeId a, NodeId b) const;
   // Consumes the per-message fault decisions (isolation, blocked link, random
   // drop) in the exact order the pre-zero-copy fabric did, so same-seed RNG
-  // streams are unchanged.
+  // streams are unchanged. The per-link levers draw afterwards, and only
+  // when armed.
   bool PassesFaultChecks(NodeId from, NodeId to);
   void CountDrop(NodeId from, NodeId to, int tag, size_t size);
   void CountOffered(NodeId from, NodeId to, int tag, const Bytes& payload);
   void CountCopy(NodeId from, int tag, size_t size);
-  // Counts the delivery and schedules it after the cost model's latency.
+  // Base wire latency for one delivery: cost-model latency plus the per-link
+  // extra delay plus one jitter draw (when enabled).
+  SimTime DeliveryLatency(NodeId from, NodeId to, size_t size);
+  // Counts the delivery and schedules it after the cost model's latency;
+  // rolls the duplication lever for extra aliased deliveries.
   void Deliver(NodeId from, NodeId to, int tag,
                std::shared_ptr<const Bytes> payload);
 
   Simulation* sim_;
-  std::set<std::pair<NodeId, NodeId>> blocked_links_;  // stored as (min,max)
+  std::set<Link> blocked_links_;
   std::set<NodeId> isolated_;
   double drop_probability_ = 0.0;
   SimTime jitter_us_ = 0;
+  std::map<Link, SimTime> link_delay_;
+  std::map<Link, double> link_drop_;
+  double duplicate_probability_ = 0.0;
+  int duplicate_max_ = 0;
   Interceptor interceptor_;
 };
 

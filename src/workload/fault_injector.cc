@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/basefs/conformance_wrapper.h"
+#include "src/sim/network.h"
 #include "src/util/log.h"
 #include "src/util/rng.h"
 
@@ -20,26 +21,92 @@ const char* FaultKindName(FaultKind kind) {
       return "daemon-restart";
     case FaultKind::kProactiveRecovery:
       return "proactive-recovery";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kDropBurst:
+      return "drop-burst";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kLinkDelay:
+      return "link-delay";
   }
   return "unknown";
 }
 
-FaultScenarioResult RunFaultScenario(ServiceGroup& group, FsSession& fs,
-                                     const FaultScenarioConfig& config) {
-  FaultScenarioResult result;
-  Simulation& sim = group.sim();
-  Rng rng(config.seed);
-  SimTime start = sim.Now();
-
-  uint64_t view_changes_before = 0;
-  uint64_t recoveries_before = 0;
-  for (int r = 0; r < group.replica_count(); ++r) {
-    view_changes_before += group.replica(r).view_changes_started();
-    recoveries_before += group.replica(r).recoveries_completed();
+bool FaultKindFromName(const std::string& name, FaultKind* out) {
+  for (FaultKind kind :
+       {FaultKind::kCrashRestart, FaultKind::kCorruptState,
+        FaultKind::kByzantineReplies, FaultKind::kDaemonRestart,
+        FaultKind::kProactiveRecovery, FaultKind::kPartition,
+        FaultKind::kDropBurst, FaultKind::kDuplicate, FaultKind::kLinkDelay}) {
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
   }
+  return false;
+}
 
-  // Arm the fault schedule.
-  for (const FaultEvent& event : config.schedule) {
+namespace {
+
+uint32_t ToPpm(double probability) {
+  if (probability <= 0.0) {
+    return 0;
+  }
+  if (probability >= 1.0) {
+    return 1000000;
+  }
+  return static_cast<uint32_t>(probability * 1e6 + 0.5);
+}
+
+}  // namespace
+
+FaultEvent FaultEvent::Partition(SimTime at, uint32_t side_mask,
+                                 SimTime duration) {
+  FaultEvent event;
+  event.at = at;
+  event.kind = FaultKind::kPartition;
+  event.side_mask = side_mask;
+  event.duration = duration;
+  return event;
+}
+
+FaultEvent FaultEvent::DropBurst(SimTime at, double probability,
+                                 SimTime duration) {
+  FaultEvent event;
+  event.at = at;
+  event.kind = FaultKind::kDropBurst;
+  event.prob_ppm = ToPpm(probability);
+  event.duration = duration;
+  return event;
+}
+
+FaultEvent FaultEvent::Duplicate(SimTime at, double probability,
+                                 SimTime duration) {
+  FaultEvent event;
+  event.at = at;
+  event.kind = FaultKind::kDuplicate;
+  event.prob_ppm = ToPpm(probability);
+  event.duration = duration;
+  return event;
+}
+
+FaultEvent FaultEvent::LinkDelay(SimTime at, int a, int b, SimTime extra_us,
+                                 SimTime duration) {
+  FaultEvent event;
+  event.at = at;
+  event.kind = FaultKind::kLinkDelay;
+  event.replica = a;
+  event.peer = b;
+  event.delay_us = extra_us;
+  event.duration = duration;
+  return event;
+}
+
+void ArmFaultSchedule(ServiceGroup& group,
+                      const std::vector<FaultEvent>& schedule) {
+  Simulation& sim = group.sim();
+  for (const FaultEvent& event : schedule) {
     sim.After(Simulation::kNoOwner, event.at, [&group, &sim, event] {
       LOG_INFO << "fault injector: " << FaultKindName(event.kind)
                << " at replica " << event.replica;
@@ -75,9 +142,66 @@ FaultScenarioResult RunFaultScenario(ServiceGroup& group, FsSession& fs,
         case FaultKind::kProactiveRecovery:
           group.replica(event.replica).StartProactiveRecovery();
           break;
+        case FaultKind::kPartition: {
+          // Block every replica-replica link that crosses the side split;
+          // clients stay connected to both sides. Healing unblocks exactly
+          // the links this event blocked, so overlapping partitions compose.
+          const int n = group.replica_count();
+          std::vector<std::pair<NodeId, NodeId>> blocked;
+          for (NodeId a = 0; a < n; ++a) {
+            for (NodeId b = a + 1; b < n; ++b) {
+              if (((event.side_mask >> a) & 1) != ((event.side_mask >> b) & 1)) {
+                sim.network().BlockLink(a, b);
+                blocked.emplace_back(a, b);
+              }
+            }
+          }
+          sim.After(Simulation::kNoOwner, event.duration,
+                    [&sim, blocked = std::move(blocked)] {
+                      for (const auto& [a, b] : blocked) {
+                        sim.network().UnblockLink(a, b);
+                      }
+                    });
+          break;
+        }
+        case FaultKind::kDropBurst:
+          sim.network().SetDropProbability(event.probability());
+          sim.After(Simulation::kNoOwner, event.duration,
+                    [&sim] { sim.network().SetDropProbability(0.0); });
+          break;
+        case FaultKind::kDuplicate:
+          sim.network().SetDuplication(event.probability(), /*max_copies=*/2);
+          sim.After(Simulation::kNoOwner, event.duration,
+                    [&sim] { sim.network().SetDuplication(0.0, 0); });
+          break;
+        case FaultKind::kLinkDelay:
+          sim.network().SetLinkDelay(event.replica, event.peer,
+                                     event.delay_us);
+          sim.After(Simulation::kNoOwner, event.duration,
+                    [&sim, a = event.replica, b = event.peer] {
+                      sim.network().SetLinkDelay(a, b, 0);
+                    });
+          break;
       }
     });
   }
+}
+
+FaultScenarioResult RunFaultScenario(ServiceGroup& group, FsSession& fs,
+                                     const FaultScenarioConfig& config) {
+  FaultScenarioResult result;
+  Simulation& sim = group.sim();
+  Rng rng(config.seed);
+  SimTime start = sim.Now();
+
+  uint64_t view_changes_before = 0;
+  uint64_t recoveries_before = 0;
+  for (int r = 0; r < group.replica_count(); ++r) {
+    view_changes_before += group.replica(r).view_changes_started();
+    recoveries_before += group.replica(r).recoveries_completed();
+  }
+
+  ArmFaultSchedule(group, config.schedule);
 
   // Foreground load with an oracle.
   auto dir = fs.Mkdir(fs.Root(), "faultload");
@@ -96,6 +220,15 @@ FaultScenarioResult RunFaultScenario(ServiceGroup& group, FsSession& fs,
     oracle[i] = Bytes();
   }
 
+  // Splits a failed op into unavailability (timeout) vs. explicit rejection.
+  auto classify_failure = [&result](const Status& status) {
+    if (status.code() == StatusCode::kUnavailable) {
+      ++result.timeouts;
+    } else {
+      ++result.rejected;
+    }
+  };
+
   SimTime total_latency = 0;
   for (int op = 0; op < config.operations; ++op) {
     int file = static_cast<int>(rng.NextBelow(kFiles));
@@ -113,15 +246,22 @@ FaultScenarioResult RunFaultScenario(ServiceGroup& group, FsSession& fs,
           cur.resize(value.size());
         }
         std::copy(value.begin(), value.end(), cur.begin());
+      } else {
+        classify_failure(written.status());
       }
     } else {
       auto data = fs.Read(files[file], 0, 4096);
       if (data.ok()) {
-        ++result.succeeded;
-        if (*data != oracle[file]) {
-          result.wrong_result_observed = true;
+        if (*data == oracle[file]) {
+          ++result.succeeded;
+        } else {
+          // Completed but incorrect: counted as a wrong result, not as an
+          // availability success.
+          ++result.wrong_results;
           LOG_ERROR << "fault scenario: WRONG read result for file " << file;
         }
+      } else {
+        classify_failure(data.status());
       }
     }
     SimTime latency = sim.Now() - op_start;

@@ -22,16 +22,48 @@ enum class FaultKind {
   kByzantineReplies,  // garble execution results for `duration`
   kDaemonRestart,     // restart the wrapped daemon (volatile handles)
   kProactiveRecovery, // trigger a recovery by hand
+  // Network-level adversities, schedulable by the chaos harness and by
+  // hand-written E7 scenarios alike.
+  kPartition,         // split replicas into two sides (side_mask) for `duration`
+  kDropBurst,         // global drop probability `prob_ppm` for `duration`
+  kDuplicate,         // duplicate deliveries with `prob_ppm` for `duration`
+  kLinkDelay,         // extra `delay_us` on link {replica, peer} for `duration`
 };
 
 const char* FaultKindName(FaultKind kind);
+// Inverse of FaultKindName (repro-file parsing). False on unknown names.
+bool FaultKindFromName(const std::string& name, FaultKind* out);
 
 struct FaultEvent {
   SimTime at = 0;  // virtual time relative to scenario start
   FaultKind kind = FaultKind::kCrashRestart;
   int replica = 0;
-  SimTime duration = 0;  // for crash / byzantine faults
+  SimTime duration = 0;  // how long the fault stays armed
+  // Extended targets/parameters for the network-level kinds. Probabilities
+  // are stored in parts-per-million so schedules round-trip through text
+  // repro files exactly.
+  int peer = -1;           // kLinkDelay: other link endpoint
+  uint32_t side_mask = 0;  // kPartition: bit r set => replica r on side A
+  uint32_t prob_ppm = 0;   // kDropBurst/kDuplicate
+  SimTime delay_us = 0;    // kLinkDelay: extra one-way delay
+
+  double probability() const { return prob_ppm / 1e6; }
+
+  static FaultEvent Partition(SimTime at, uint32_t side_mask,
+                              SimTime duration);
+  static FaultEvent DropBurst(SimTime at, double probability,
+                              SimTime duration);
+  static FaultEvent Duplicate(SimTime at, double probability,
+                              SimTime duration);
+  static FaultEvent LinkDelay(SimTime at, int a, int b, SimTime extra_us,
+                              SimTime duration);
 };
+
+// Arms every event in `schedule` on the group's simulation, relative to the
+// current virtual time. Crash/partition/burst events disarm themselves after
+// their duration. Shared by RunFaultScenario and the chaos harness.
+void ArmFaultSchedule(ServiceGroup& group,
+                      const std::vector<FaultEvent>& schedule);
 
 struct FaultScenarioConfig {
   std::vector<FaultEvent> schedule;
@@ -43,12 +75,17 @@ struct FaultScenarioConfig {
 
 struct FaultScenarioResult {
   int attempted = 0;
-  int succeeded = 0;
+  int succeeded = 0;   // completed with the oracle-correct result
+  // Failure accounting, split so reports can distinguish unavailability
+  // (timeouts) from incorrectness (wrong_results) and explicit errors
+  // (rejected).
+  int timeouts = 0;       // never completed within the op timeout
+  int rejected = 0;       // completed with an error status
+  int wrong_results = 0;  // completed "successfully" but contradicting the oracle
   SimTime mean_latency_us = 0;
   SimTime max_latency_us = 0;
   uint64_t view_changes = 0;
   uint64_t recoveries = 0;
-  bool wrong_result_observed = false;  // any reply differed from the oracle
   double Availability() const {
     return attempted == 0 ? 0.0
                           : static_cast<double>(succeeded) / attempted;

@@ -1,0 +1,360 @@
+// Tests for the deterministic chaos harness: schedule planner, the
+// linearizability checker, end-to-end runs, determinism, the shrinker on a
+// deliberately injected safety bug, and repro-file round-tripping.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workload/chaos.h"
+
+namespace bftbase {
+namespace {
+
+// --- Planner ----------------------------------------------------------------
+
+TEST(ChaosPlanner, SameSeedSameSchedule) {
+  ChaosOptions options;
+  options.seed = 42;
+  auto a = PlanChaosSchedule(options);
+  auto b = PlanChaosSchedule(options);
+  EXPECT_EQ(EncodeSchedule(a), EncodeSchedule(b));
+  options.seed = 43;
+  auto c = PlanChaosSchedule(options);
+  EXPECT_NE(EncodeSchedule(a), EncodeSchedule(c));
+}
+
+TEST(ChaosPlanner, SchedulesRespectBounds) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    auto schedule = PlanChaosSchedule(options);
+    ASSERT_GE(static_cast<int>(schedule.size()), options.min_events);
+    ASSERT_LE(static_cast<int>(schedule.size()), options.max_events);
+    std::set<int> byzantine_targets;
+    for (const FaultEvent& event : schedule) {
+      EXPECT_GE(event.at, options.fault_window_start);
+      EXPECT_LT(event.at, options.fault_window_start + options.fault_window);
+      switch (event.kind) {
+        case FaultKind::kCorruptState:
+        case FaultKind::kByzantineReplies:
+          byzantine_targets.insert(event.replica);
+          break;
+        case FaultKind::kPartition:
+          // Proper nonempty subset of the 4 replicas.
+          EXPECT_GE(event.side_mask, 1u);
+          EXPECT_LE(event.side_mask, 14u);
+          EXPECT_GT(event.duration, 0);
+          break;
+        case FaultKind::kDropBurst:
+        case FaultKind::kDuplicate:
+          EXPECT_GT(event.prob_ppm, 0u);
+          EXPECT_LE(event.prob_ppm, 1000000u);
+          EXPECT_GT(event.duration, 0);
+          break;
+        case FaultKind::kLinkDelay:
+          EXPECT_NE(event.replica, event.peer);
+          EXPECT_GE(event.peer, 0);
+          EXPECT_LT(event.peer, 4);
+          EXPECT_GT(event.delay_us, 0);
+          break;
+        default:
+          break;
+      }
+    }
+    // The genuinely Byzantine kinds never exceed f = 1 distinct replicas.
+    EXPECT_LE(byzantine_targets.size(), 1u) << "seed " << seed;
+  }
+}
+
+// --- Linearizability checker ------------------------------------------------
+
+HistoryOp Write(int client, int object, Bytes value, SimTime invoke,
+                SimTime response) {
+  HistoryOp op;
+  op.kind = HistoryOp::Kind::kWrite;
+  op.client = client;
+  op.object = object;
+  op.value = std::move(value);
+  op.ok = true;
+  op.invoke_us = invoke;
+  op.response_us = response;
+  return op;
+}
+
+HistoryOp Read(int client, int object, Bytes value, SimTime invoke,
+               SimTime response) {
+  HistoryOp op;
+  op.kind = HistoryOp::Kind::kRead;
+  op.client = client;
+  op.object = object;
+  op.value = std::move(value);
+  op.ok = true;
+  op.invoke_us = invoke;
+  op.response_us = response;
+  return op;
+}
+
+HistoryOp Mkdir(int client, const std::string& name, SimTime invoke,
+                SimTime response, bool exists = false) {
+  HistoryOp op;
+  op.kind = HistoryOp::Kind::kMkdir;
+  op.client = client;
+  op.name = name;
+  op.ok = !exists;
+  op.already_exists = exists;
+  op.invoke_us = invoke;
+  op.response_us = response;
+  return op;
+}
+
+TEST(LinearizabilityChecker, AcceptsSequentialHistory) {
+  std::vector<HistoryOp> history = {
+      Read(0, 0, Bytes(), 0, 10),        // initial value is empty
+      Write(0, 0, ToBytes("aa"), 20, 30),
+      Read(1, 0, ToBytes("aa"), 40, 50),
+      Write(1, 0, ToBytes("bb"), 60, 70),
+      Read(0, 0, ToBytes("bb"), 80, 90),
+  };
+  auto verdict = CheckLinearizable(history);
+  EXPECT_TRUE(verdict.linearizable) << verdict.explanation;
+}
+
+TEST(LinearizabilityChecker, AcceptsConcurrentReadOfEitherValue) {
+  // The read overlaps the write, so it may see the old or the new value.
+  for (const char* seen : {"", "aa"}) {
+    std::vector<HistoryOp> history = {
+        Write(0, 0, ToBytes("aa"), 10, 40),
+        Read(1, 0, ToBytes(seen), 20, 30),
+    };
+    auto verdict = CheckLinearizable(history);
+    EXPECT_TRUE(verdict.linearizable)
+        << "read saw \"" << seen << "\": " << verdict.explanation;
+  }
+}
+
+TEST(LinearizabilityChecker, RejectsStaleRead) {
+  // Both writes completed strictly before the read was invoked; seeing the
+  // first write's value loses the second (a real-time violation).
+  std::vector<HistoryOp> history = {
+      Write(0, 0, ToBytes("aa"), 0, 10),
+      Write(1, 0, ToBytes("bb"), 20, 30),
+      Read(2, 0, ToBytes("aa"), 40, 50),
+  };
+  auto verdict = CheckLinearizable(history);
+  EXPECT_FALSE(verdict.linearizable);
+  EXPECT_NE(verdict.explanation.find("no linearization"), std::string::npos)
+      << verdict.explanation;
+}
+
+TEST(LinearizabilityChecker, PendingWriteMayTakeEffectLateOrNever) {
+  // An abandoned write's effect is unknown: a much later read may see it
+  // (it executed late) or not (it never executed). Both are legal.
+  for (const char* seen : {"", "aa"}) {
+    std::vector<HistoryOp> history;
+    HistoryOp w = Write(0, 0, ToBytes("aa"), 0, 0);
+    w.pending = true;  // never returned
+    history.push_back(w);
+    history.push_back(Read(1, 0, ToBytes(seen), 1000, 1010));
+    auto verdict = CheckLinearizable(history);
+    EXPECT_TRUE(verdict.linearizable)
+        << "read saw \"" << seen << "\": " << verdict.explanation;
+  }
+}
+
+TEST(LinearizabilityChecker, RejectsResurrectedValue) {
+  // Once a later read observed the overwrite, an even later read cannot go
+  // back to the overwritten value.
+  std::vector<HistoryOp> history = {
+      Write(0, 0, ToBytes("aa"), 0, 10),
+      Write(1, 0, ToBytes("bb"), 20, 30),
+      Read(2, 0, ToBytes("bb"), 40, 50),
+      Read(2, 0, ToBytes("aa"), 60, 70),
+  };
+  auto verdict = CheckLinearizable(history);
+  EXPECT_FALSE(verdict.linearizable);
+}
+
+TEST(LinearizabilityChecker, RejectsNeverWrittenValue) {
+  std::vector<HistoryOp> history = {
+      Write(0, 0, ToBytes("aa"), 0, 10),
+      Read(1, 0, ToBytes("zz"), 20, 30),
+  };
+  auto verdict = CheckLinearizable(history);
+  EXPECT_FALSE(verdict.linearizable);
+  EXPECT_NE(verdict.explanation.find("never-written"), std::string::npos)
+      << verdict.explanation;
+}
+
+TEST(LinearizabilityChecker, MkdirDuplicateExecutionDetected) {
+  // Two successful creations of the same name: double execution.
+  std::vector<HistoryOp> twice = {
+      Mkdir(0, "d", 0, 10),
+      Mkdir(1, "d", 20, 30),
+  };
+  EXPECT_FALSE(CheckLinearizable(twice).linearizable);
+
+  // "Already exists" with no creator anywhere: the op must have executed
+  // twice (the second execution found the first's directory).
+  std::vector<HistoryOp> ghost = {
+      Mkdir(0, "d", 0, 10, /*exists=*/true),
+  };
+  EXPECT_FALSE(CheckLinearizable(ghost).linearizable);
+
+  // "Already exists" racing a real creator is legal.
+  std::vector<HistoryOp> race = {
+      Mkdir(0, "d", 0, 10),
+      Mkdir(1, "d", 5, 15, /*exists=*/true),
+  };
+  EXPECT_TRUE(CheckLinearizable(race).linearizable);
+}
+
+// --- End-to-end runs --------------------------------------------------------
+
+TEST(Chaos, CleanSeedRunsGreen) {
+  ChaosOptions options;
+  options.seed = 3;
+  ChaosRunResult result = RunChaos(options);
+  EXPECT_FALSE(result.Failed()) << result.verdict.explanation;
+  EXPECT_EQ(result.invoked, options.clients * options.ops_per_client);
+  EXPECT_GT(result.completed, 0);
+  EXPECT_TRUE(result.verdict.linearizable);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_GT(result.trace_events, 0u);
+}
+
+TEST(Chaos, SameSeedIsByteIdentical) {
+  ChaosOptions options;
+  options.seed = 12;  // a seed whose schedule visibly perturbs the run
+  ChaosRunResult a = RunChaos(options);
+  ChaosRunResult b = RunChaos(options);
+  EXPECT_EQ(a.schedule_digest.Hex(32), b.schedule_digest.Hex(32));
+  EXPECT_EQ(a.trace_digest.Hex(32), b.trace_digest.Hex(32));
+  EXPECT_EQ(a.trace_events, b.trace_events);
+  EXPECT_EQ(a.verdict.linearizable, b.verdict.linearizable);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.view_changes, b.view_changes);
+}
+
+TEST(Chaos, DifferentSeedsDiverge) {
+  ChaosOptions a_options;
+  a_options.seed = 1;
+  ChaosOptions b_options;
+  b_options.seed = 2;
+  ChaosRunResult a = RunChaos(a_options);
+  ChaosRunResult b = RunChaos(b_options);
+  EXPECT_NE(a.schedule_digest.Hex(32), b.schedule_digest.Hex(32));
+  EXPECT_NE(a.trace_digest.Hex(32), b.trace_digest.Hex(32));
+}
+
+// --- Injected bug: detection + shrinking ------------------------------------
+
+// A tampering relay that garbles read replies while any fault is armed —
+// the kind of wrong-result bug the checker exists to catch. Schedule-
+// dependent (no faults active => no bug), so the shrinker can minimize it.
+ChaosOptions TamperedOptions(uint64_t seed, int* tampered) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.reply_tamper = [tampered](const ChaosOptions::TamperContext& ctx,
+                                    NfsReply& reply) {
+    if (ctx.active_faults == 0 || ctx.call == nullptr ||
+        ctx.call->proc != NfsProc::kRead || reply.stat != NfsStat::kOk) {
+      return false;
+    }
+    reply.data = ToBytes("CORRUPT!");
+    if (tampered != nullptr) {
+      ++*tampered;
+    }
+    return true;
+  };
+  return options;
+}
+
+// A seed (from the fixed smoke set) whose schedule keeps faults armed while
+// reads complete, so the tamper hook actually fires.
+constexpr uint64_t kTamperSeed = 13;
+
+TEST(Chaos, InjectedSafetyBugIsCaught) {
+  int tampered = 0;
+  ChaosOptions options = TamperedOptions(kTamperSeed, &tampered);
+  ChaosRunResult result = RunChaos(options);
+  ASSERT_GT(tampered, 0) << "tamper hook never fired; pick another seed";
+  EXPECT_TRUE(result.Failed());
+  EXPECT_FALSE(result.verdict.linearizable);
+  // Without the tamper the same seed is clean — the bug, not the schedule,
+  // is what the checker caught.
+  ChaosOptions clean;
+  clean.seed = kTamperSeed;
+  EXPECT_FALSE(RunChaos(clean).Failed());
+}
+
+TEST(Chaos, InjectedBugShrinksToMinimalRepro) {
+  ChaosOptions options = TamperedOptions(kTamperSeed, nullptr);
+  std::vector<FaultEvent> schedule = PlanChaosSchedule(options);
+  ShrinkOutcome shrunk = ShrinkFailingSchedule(options, schedule, 48);
+  EXPECT_TRUE(shrunk.result.Failed());
+  EXPECT_GE(shrunk.runs, 1);
+  EXPECT_LT(shrunk.schedule.size(), schedule.size());
+  // Minimality in the ddmin sense: removing any single remaining event no
+  // longer reproduces (spot-checked by the shrinker's own final pass); here
+  // we at least require a dramatic reduction for this bug (one active fault
+  // suffices to trigger the tamper).
+  EXPECT_LE(shrunk.schedule.size(), 2u);
+
+  // The repro file round-trips to the exact same schedule and options.
+  std::string repro = EncodeChaosRepro(options, shrunk.schedule, shrunk.result);
+  ChaosOptions decoded_options;
+  std::vector<FaultEvent> decoded_schedule;
+  ASSERT_TRUE(DecodeChaosRepro(repro, &decoded_options, &decoded_schedule));
+  EXPECT_EQ(EncodeSchedule(decoded_schedule), EncodeSchedule(shrunk.schedule));
+  EXPECT_EQ(decoded_options.seed, options.seed);
+  EXPECT_EQ(decoded_options.clients, options.clients);
+  EXPECT_EQ(decoded_options.ops_per_client, options.ops_per_client);
+}
+
+// --- Repro files ------------------------------------------------------------
+
+TEST(ChaosRepro, RoundTripsEveryEventKind) {
+  ChaosOptions options;
+  options.seed = 77;
+  options.clients = 5;
+  options.ops_per_client = 7;
+  options.files = 3;
+  options.op_gap = 123;
+  options.op_timeout = 456789;
+  std::vector<FaultEvent> schedule = {
+      {100, FaultKind::kCrashRestart, 2, 5000},
+      {200, FaultKind::kCorruptState, 3, 0},
+      {300, FaultKind::kByzantineReplies, 1, 7000},
+      {400, FaultKind::kDaemonRestart, 0, 0},
+      {500, FaultKind::kProactiveRecovery, 2, 0},
+      FaultEvent::Partition(600, 0b0101, 8000),
+      FaultEvent::DropBurst(700, 0.123456, 9000),
+      FaultEvent::Duplicate(800, 0.25, 10000),
+      FaultEvent::LinkDelay(900, 1, 3, 5000, 11000),
+  };
+  ChaosRunResult dummy;
+  dummy.schedule_digest = Digest::Of(EncodeSchedule(schedule));
+  std::string text = EncodeChaosRepro(options, schedule, dummy);
+
+  ChaosOptions decoded;
+  std::vector<FaultEvent> decoded_schedule;
+  ASSERT_TRUE(DecodeChaosRepro(text, &decoded, &decoded_schedule));
+  EXPECT_EQ(EncodeSchedule(decoded_schedule), EncodeSchedule(schedule));
+  EXPECT_EQ(decoded.seed, 77u);
+  EXPECT_EQ(decoded.clients, 5);
+  EXPECT_EQ(decoded.ops_per_client, 7);
+  EXPECT_EQ(decoded.files, 3);
+  EXPECT_EQ(decoded.op_gap, 123);
+  EXPECT_EQ(decoded.op_timeout, 456789);
+  // Probabilities survive exactly (stored as ppm, not floats).
+  EXPECT_EQ(decoded_schedule[6].prob_ppm, schedule[6].prob_ppm);
+
+  EXPECT_FALSE(DecodeChaosRepro("gibberish 12\n", &decoded,
+                                &decoded_schedule));
+  EXPECT_FALSE(DecodeChaosRepro("event 1 not-a-kind 0 0 0 0 0 0\n", &decoded,
+                                &decoded_schedule));
+}
+
+}  // namespace
+}  // namespace bftbase

@@ -164,5 +164,53 @@ TEST(Robustness, OversizedMessagesBounded) {
   ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(5, ToBytes("fine"))).ok());
 }
 
+TEST(Robustness, CascadingViewChangesResetTimeout) {
+  // Rotate the primary out several times in a row: each isolation forces a
+  // view change onto the next primary, which we isolate in turn. After every
+  // rotation the group must regain liveness, and every replica that finished
+  // installing the view must have reset its view-change timeout back to the
+  // configured base (the doubling is only for cascades in flight).
+  auto group = MakeGroup(7007);
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(0, ToBytes("base"))).ok());
+  const SimTime base_timeout = group->config().view_change_timeout;
+
+  for (int rotation = 0; rotation < 3; ++rotation) {
+    ViewNum view = 0;
+    for (int r = 0; r < group->replica_count(); ++r) {
+      view = std::max(view, group->replica(r).view());
+    }
+    const NodeId primary = group->config().PrimaryOf(view);
+    group->sim().network().Isolate(primary);
+
+    auto r = group->Invoke(KvAdapter::EncodeAppend(1, ToBytes("x")),
+                           /*read_only=*/false, 240 * kSecond);
+    ASSERT_TRUE(r.ok()) << "rotation " << rotation << ": "
+                        << r.status().ToString();
+
+    ViewNum new_view = 0;
+    for (int i = 0; i < group->replica_count(); ++i) {
+      if (i != primary) {
+        new_view = std::max(new_view, group->replica(i).view());
+      }
+    }
+    EXPECT_GT(new_view, view) << "rotation " << rotation;
+
+    group->sim().network().Heal(primary);
+    group->sim().RunUntil(group->sim().Now() + 2 * kSecond);
+    for (int i = 0; i < group->replica_count(); ++i) {
+      if (!group->replica(i).in_view_change()) {
+        EXPECT_EQ(group->replica(i).current_view_change_timeout(),
+                  base_timeout)
+            << "rotation " << rotation << ", replica " << i;
+      }
+    }
+  }
+
+  // Three rotations, three appends, each executed exactly once.
+  auto get = group->Invoke(KvAdapter::EncodeGet(1), false, 240 * kSecond);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ToString(*get), "xxx");
+}
+
 }  // namespace
 }  // namespace bftbase

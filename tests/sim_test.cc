@@ -367,6 +367,139 @@ TEST(Network, InterceptorMutationDoesNotAliasOtherRecipients) {
   EXPECT_EQ(ToString(original), "clean");  // caller's buffer untouched
 }
 
+TEST(Network, LinkDelayDelaysOnlyThatLink) {
+  // Per-link extra delay reorders traffic across links: a message on the
+  // delayed link arrives after a same-size message sent at the same instant
+  // on an undelayed link.
+  Simulation sim(1);
+  std::vector<std::pair<NodeId, SimTime>> arrivals;
+  class TimedNode : public SimNode {
+   public:
+    TimedNode(Simulation* sim, NodeId id,
+              std::vector<std::pair<NodeId, SimTime>>* arrivals)
+        : sim_(sim), id_(id), arrivals_(arrivals) {}
+    void OnMessage(NodeId, const Bytes&) override {
+      arrivals_->emplace_back(id_, sim_->Now());
+    }
+
+   private:
+    Simulation* sim_;
+    NodeId id_;
+    std::vector<std::pair<NodeId, SimTime>>* arrivals_;
+  };
+  TimedNode b(&sim, 2, &arrivals);
+  TimedNode c(&sim, 3, &arrivals);
+  sim.AddNode(2, &b);
+  sim.AddNode(3, &c);
+  sim.network().SetLinkDelay(1, 2, 5000);
+  sim.After(1, 0, [&] {
+    sim.network().Send(1, 2, ToBytes("slow"));
+    sim.network().Send(1, 3, ToBytes("fast"));
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].first, 3);  // the undelayed link wins
+  EXPECT_EQ(arrivals[1].first, 2);
+  EXPECT_EQ(arrivals[1].second - arrivals[0].second, 5000);
+  // Clearing the lever restores symmetry.
+  sim.network().SetLinkDelay(1, 2, 0);
+  arrivals.clear();
+  sim.After(1, sim.Now(), [&] {
+    sim.network().Send(1, 2, ToBytes("even"));
+    sim.network().Send(1, 3, ToBytes("even"));
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].second, arrivals[1].second);
+}
+
+TEST(Network, LinkDropAffectsOnlyThatLink) {
+  Simulation sim(7);
+  RecordingNode b;
+  RecordingNode c;
+  sim.AddNode(2, &b);
+  sim.AddNode(3, &c);
+  sim.network().SetLinkDropProbability(1, 2, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    sim.After(1, i, [&] {
+      sim.network().Send(1, 2, ToBytes("doomed"));
+      sim.network().Send(1, 3, ToBytes("fine"));
+    });
+  }
+  sim.RunUntilIdle();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(c.messages.size(), 20u);
+  EXPECT_EQ(sim.network().messages_offered(), 40u);
+  EXPECT_EQ(sim.network().messages_delivered(), 20u);
+  EXPECT_EQ(sim.network().messages_dropped(), 20u);
+}
+
+TEST(Network, DuplicationAliasesTheSharedBuffer) {
+  // Duplicates are bounded (1..max_copies extras) and share the original's
+  // buffer — zero-copy, verified by pointer identity of the in-flight
+  // delivery buffer across all arrivals.
+  Simulation sim(5);
+  std::vector<const Bytes*> buffers;
+  class AliasNode : public SimNode {
+   public:
+    AliasNode(Simulation* sim, std::vector<const Bytes*>* buffers)
+        : sim_(sim), buffers_(buffers) {}
+    void OnMessage(NodeId, const Bytes& payload) override {
+      EXPECT_EQ(ToString(payload), "dup me");
+      buffers_->push_back(sim_->current_delivery().get());
+    }
+
+   private:
+    Simulation* sim_;
+    std::vector<const Bytes*>* buffers_;
+  };
+  AliasNode receiver(&sim, &buffers);
+  sim.AddNode(2, &receiver);
+  sim.network().SetDuplication(1.0, 2);
+  sim.After(1, 0, [&] { sim.network().Send(1, 2, ToBytes("dup me")); });
+  sim.RunUntilIdle();
+  ASSERT_GE(buffers.size(), 2u);  // original + at least one duplicate
+  ASSERT_LE(buffers.size(), 3u);  // ... and at most max_copies extras
+  for (const Bytes* buffer : buffers) {
+    EXPECT_EQ(buffer, buffers[0]);  // every arrival aliases one buffer
+  }
+  EXPECT_EQ(sim.network().payload_copies(), 0u);
+  EXPECT_EQ(sim.network().messages_offered(), 1u);
+  EXPECT_EQ(sim.network().messages_duplicated(), buffers.size() - 1);
+  EXPECT_EQ(sim.network().messages_delivered(), buffers.size());
+}
+
+TEST(Network, AccountingHoldsUnderComposedLevers) {
+  // Offered - dropped + duplicated == delivered, with every adversarial
+  // lever armed at once.
+  Simulation sim(99);
+  RecordingNode nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    sim.AddNode(i, &nodes[i]);
+  }
+  sim.network().SetDropProbability(0.3);
+  sim.network().SetLinkDropProbability(0, 1, 0.5);
+  sim.network().SetLinkDelay(1, 2, 3000);
+  sim.network().SetDuplication(0.5, 3);
+  for (int i = 0; i < 300; ++i) {
+    sim.After(i % 4, i, [&sim, i] {
+      sim.network().Send(i % 4, (i + 1) % 4, ToBytes("chaos"));
+    });
+  }
+  sim.RunUntilIdle();
+  const Network& net = sim.network();
+  EXPECT_GT(net.messages_dropped(), 0u);
+  EXPECT_GT(net.messages_duplicated(), 0u);
+  EXPECT_EQ(net.messages_offered() - net.messages_dropped() +
+                net.messages_duplicated(),
+            net.messages_delivered());
+  uint64_t received = 0;
+  for (const auto& node : nodes) {
+    received += node.messages.size();
+  }
+  EXPECT_EQ(received, net.messages_delivered());
+}
+
 TEST(CostModel, LatencyScalesWithSize) {
   CostModel cost;
   EXPECT_GT(cost.MessageLatency(10000), cost.MessageLatency(10));

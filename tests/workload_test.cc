@@ -93,7 +93,7 @@ TEST(Workload, FaultScenarioCrashKeepsServiceAvailable) {
   FaultScenarioResult result = RunFaultScenario(*group, fs, config);
   EXPECT_EQ(result.attempted, 40);
   EXPECT_EQ(result.succeeded, 40);
-  EXPECT_FALSE(result.wrong_result_observed);
+  EXPECT_EQ(result.wrong_results, 0);
 }
 
 TEST(Workload, FaultScenarioByzantineRepliesNeverFoolClient) {
@@ -106,7 +106,7 @@ TEST(Workload, FaultScenarioByzantineRepliesNeverFoolClient) {
                                        30 * kSecond});
   FaultScenarioResult result = RunFaultScenario(*group, fs, config);
   EXPECT_EQ(result.succeeded, result.attempted);
-  EXPECT_FALSE(result.wrong_result_observed);
+  EXPECT_EQ(result.wrong_results, 0);
 }
 
 TEST(Workload, FaultScenarioCorruptionRepairedByRecovery) {
@@ -122,7 +122,7 @@ TEST(Workload, FaultScenarioCorruptionRepairedByRecovery) {
       FaultEvent{400 * kMillisecond, FaultKind::kProactiveRecovery, 3, 0});
   FaultScenarioResult result = RunFaultScenario(*group, fs, config);
   EXPECT_EQ(result.succeeded, result.attempted);
-  EXPECT_FALSE(result.wrong_result_observed);
+  EXPECT_EQ(result.wrong_results, 0);
   EXPECT_GE(result.recoveries, 1u);
 }
 
