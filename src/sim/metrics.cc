@@ -35,6 +35,22 @@ void SyncHotPathCounters(MetricsRegistry& metrics) {
   metrics.Set("hot.encode_reuses", c.encode_reuses);
   metrics.Set("hot.digest_memo_hits", c.digest_memo_hits);
   metrics.Set("hot.digest_memo_misses", c.digest_memo_misses);
+  metrics.Set("hot.event_pool_allocs", c.event_pool_allocs);
+  metrics.Set("hot.event_pool_reuses", c.event_pool_reuses);
+  metrics.Set("hot.events_pruned", c.events_pruned);
+  metrics.Set("hot.events_requeued", c.events_requeued);
+}
+
+void MetricsRegistry::Counter::Rebind() {
+  auto it = registry_->counters_.find(name_);
+  if (it == registry_->counters_.end()) {
+    it = registry_->counters_
+             .emplace(name_, std::map<Key, uint64_t>())
+             .first;
+  }
+  cells_ = &it->second;
+  cell_ = nullptr;
+  generation_ = registry_->generation_;
 }
 
 void MetricsRegistry::Observe(std::string_view name, int64_t value, int node,
@@ -141,11 +157,13 @@ std::vector<MetricsRegistry::CounterRow> MetricsRegistry::CounterRows(
 }
 
 void MetricsRegistry::Reset() {
+  ++generation_;
   counters_.clear();
   histograms_.clear();
 }
 
 void MetricsRegistry::ResetPrefix(std::string_view prefix) {
+  ++generation_;
   auto erase_prefixed = [&](auto& table) {
     for (auto it = table.begin(); it != table.end();) {
       if (it->first.compare(0, prefix.size(), prefix) == 0) {

@@ -30,6 +30,54 @@ class MetricsRegistry {
   void Inc(std::string_view name, int node = kAny, int tag = kAny,
            uint64_t delta = 1);
 
+  // Pre-resolved counter handle for hot paths (the scale-out event kernel's
+  // network delivery path). Resolves the string-keyed lookup once and memoizes
+  // the last (node, tag) cell, so a burst of same-sender traffic — e.g. the n
+  // recipients of one multicast — updates a counter with one pointer chase
+  // instead of a string-map walk per message. Writes land in the same cells
+  // as Inc(), so queries and CounterRows() cannot tell the difference. The
+  // handle survives Reset()/ResetPrefix(): a registry generation check makes
+  // it re-resolve instead of dangling. The registry must outlive the handle.
+  class Counter {
+   public:
+    Counter() = default;
+
+    void Inc(int node = kAny, int tag = kAny, uint64_t delta = 1) {
+      if (registry_ == nullptr) {
+        return;
+      }
+      if (generation_ != registry_->generation_) {
+        Rebind();
+      }
+      if (cell_ != nullptr && node == node_ && tag == tag_) {
+        *cell_ += delta;
+        return;
+      }
+      cell_ = &(*cells_)[{node, tag}];
+      node_ = node;
+      tag_ = tag;
+      *cell_ += delta;
+    }
+
+   private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry* registry, std::string name)
+        : registry_(registry), name_(std::move(name)) {}
+    void Rebind();
+
+    MetricsRegistry* registry_ = nullptr;
+    std::string name_;
+    std::map<std::pair<int, int>, uint64_t>* cells_ = nullptr;
+    uint64_t generation_ = ~uint64_t{0};
+    uint64_t* cell_ = nullptr;
+    int node_ = 0;
+    int tag_ = 0;
+  };
+
+  Counter CounterHandle(std::string_view name) {
+    return Counter(this, std::string(name));
+  }
+
   // Overwrites a counter cell (gauge semantics). Used to mirror externally
   // maintained counters — e.g. the process-wide hot-path counters — into the
   // registry so they show up in CounterRows() and per-phase snapshots.
@@ -90,6 +138,10 @@ class MetricsRegistry {
   };
   using Key = std::pair<int, int>;  // (node, tag)
 
+  // Bumped whenever cells may have been erased (Reset/ResetPrefix), so
+  // outstanding Counter handles re-resolve instead of touching freed nodes.
+  uint64_t generation_ = 0;
+
   std::map<std::string, std::map<Key, uint64_t>, std::less<>> counters_;
   std::map<std::string, std::map<Key, HistogramCell>, std::less<>> histograms_;
 };
@@ -97,9 +149,11 @@ class MetricsRegistry {
 // Mirrors the process-wide hot-path counters (src/util/hotpath.h) into
 // `metrics` as "hot.*" gauges: hot.sha256_invocations, hot.sha256_blocks,
 // hot.bytes_hashed, hot.encode_allocs, hot.encode_reuses,
-// hot.digest_memo_hits, hot.digest_memo_misses. Benches call this at phase
-// boundaries and diff the values. (hot.payload_copies / hot.bytes_copied are
-// maintained directly by Network and need no sync.)
+// hot.digest_memo_hits, hot.digest_memo_misses, plus the event-kernel
+// counters hot.event_pool_allocs, hot.event_pool_reuses, hot.events_pruned
+// and hot.events_requeued. Benches call this at phase boundaries and diff
+// the values. (hot.payload_copies / hot.bytes_copied are maintained directly
+// by Network and need no sync.)
 void SyncHotPathCounters(MetricsRegistry& metrics);
 
 }  // namespace bftbase

@@ -35,10 +35,31 @@ int MessageTag(const Bytes& payload) {
 
 }  // namespace
 
-void Network::CountDrop(NodeId from, NodeId to, int tag, size_t size) {
+Network::Network(Simulation* sim)
+    : sim_(sim), fast_metrics_(sim->scale_kernel()) {
   MetricsRegistry& metrics = sim_->metrics();
-  metrics.Inc(kMsgsDropped, from, tag);
-  metrics.Inc(kBytesDropped, from, tag, size);
+  c_msgs_offered_ = metrics.CounterHandle(kMsgsOffered);
+  c_msgs_delivered_ = metrics.CounterHandle(kMsgsDelivered);
+  c_msgs_dropped_ = metrics.CounterHandle(kMsgsDropped);
+  c_msgs_duplicated_ = metrics.CounterHandle(kMsgsDuplicated);
+  c_bytes_offered_ = metrics.CounterHandle(kBytesOffered);
+  c_bytes_delivered_ = metrics.CounterHandle(kBytesDelivered);
+  c_bytes_dropped_ = metrics.CounterHandle(kBytesDropped);
+  c_payload_copies_ = metrics.CounterHandle(kPayloadCopies);
+  c_bytes_copied_ = metrics.CounterHandle(kBytesCopied);
+  c_eager_copies_ = metrics.CounterHandle(kEagerCopies);
+  c_eager_copy_bytes_ = metrics.CounterHandle(kEagerCopyBytes);
+}
+
+void Network::CountDrop(NodeId from, NodeId to, int tag, size_t size) {
+  if (fast_metrics_) {
+    c_msgs_dropped_.Inc(from, tag);
+    c_bytes_dropped_.Inc(from, tag, size);
+  } else {
+    MetricsRegistry& metrics = sim_->metrics();
+    metrics.Inc(kMsgsDropped, from, tag);
+    metrics.Inc(kBytesDropped, from, tag, size);
+  }
   sim_->trace().Record(TraceEvent::kMsgDrop, sim_->Now(), from, to, size,
                        static_cast<uint64_t>(tag));
 }
@@ -49,20 +70,37 @@ void Network::CountOffered(NodeId from, NodeId to, int tag,
   // fault checks counts as "delivered". Counting sent traffic before the
   // checks (as earlier revisions did) inflates reported bandwidth under
   // fault injection by exactly the dropped volume.
-  MetricsRegistry& metrics = sim_->metrics();
-  metrics.Inc(kMsgsOffered, from, tag);
-  metrics.Inc(kBytesOffered, from, tag, payload.size());
+  if (fast_metrics_) {
+    c_msgs_offered_.Inc(from, tag);
+    c_bytes_offered_.Inc(from, tag, payload.size());
+  } else {
+    MetricsRegistry& metrics = sim_->metrics();
+    metrics.Inc(kMsgsOffered, from, tag);
+    metrics.Inc(kBytesOffered, from, tag, payload.size());
+  }
   sim_->trace().Record(TraceEvent::kMsgSend, sim_->Now(), from, to,
                        payload.size(), static_cast<uint64_t>(tag), payload);
 }
 
 void Network::CountCopy(NodeId from, int tag, size_t size) {
+  if (fast_metrics_) {
+    c_payload_copies_.Inc(from, tag);
+    c_bytes_copied_.Inc(from, tag, size);
+    return;
+  }
   MetricsRegistry& metrics = sim_->metrics();
   metrics.Inc(kPayloadCopies, from, tag);
   metrics.Inc(kBytesCopied, from, tag, size);
 }
 
 bool Network::PassesFaultChecks(NodeId from, NodeId to) {
+  // Fast path: with no fault lever armed the answer is always "yes" and no
+  // RNG draw would happen, so skipping the per-message set walks is
+  // observationally identical. Gated on fast_metrics_ so the legacy kernel
+  // keeps the pre-overhaul per-message lookup cost for honest benchmarking.
+  if (fast_metrics_ && no_faults_armed_) {
+    return true;
+  }
   if (isolated_.count(from) > 0 || isolated_.count(to) > 0 ||
       LinkBlocked(from, to)) {
     return false;
@@ -96,9 +134,14 @@ SimTime Network::DeliveryLatency(NodeId from, NodeId to, size_t size) {
 
 void Network::Deliver(NodeId from, NodeId to, int tag,
                       std::shared_ptr<const Bytes> payload) {
-  MetricsRegistry& metrics = sim_->metrics();
-  metrics.Inc(kMsgsDelivered, from, tag);
-  metrics.Inc(kBytesDelivered, from, tag, payload->size());
+  if (fast_metrics_) {
+    c_msgs_delivered_.Inc(from, tag);
+    c_bytes_delivered_.Inc(from, tag, payload->size());
+  } else {
+    MetricsRegistry& metrics = sim_->metrics();
+    metrics.Inc(kMsgsDelivered, from, tag);
+    metrics.Inc(kBytesDelivered, from, tag, payload->size());
+  }
 
   SimTime latency;
   if (from == to) {
@@ -122,9 +165,16 @@ void Network::Deliver(NodeId from, NodeId to, int tag,
                 static_cast<uint64_t>(duplicate_max_)));
     const SimTime base = sim_->cost().MessageLatency(payload->size());
     for (int i = 0; i < copies; ++i) {
-      metrics.Inc(kMsgsDuplicated, from, tag);
-      metrics.Inc(kMsgsDelivered, from, tag);
-      metrics.Inc(kBytesDelivered, from, tag, payload->size());
+      if (fast_metrics_) {
+        c_msgs_duplicated_.Inc(from, tag);
+        c_msgs_delivered_.Inc(from, tag);
+        c_bytes_delivered_.Inc(from, tag, payload->size());
+      } else {
+        MetricsRegistry& metrics = sim_->metrics();
+        metrics.Inc(kMsgsDuplicated, from, tag);
+        metrics.Inc(kMsgsDelivered, from, tag);
+        metrics.Inc(kBytesDelivered, from, tag, payload->size());
+      }
       SimTime dup_latency =
           DeliveryLatency(from, to, payload->size()) +
           static_cast<SimTime>(
@@ -162,9 +212,14 @@ void Network::Multicast(NodeId from, NodeId first, NodeId last,
     }
     // What the old fabric did: copy the payload per recipient, before any
     // fault check. Recorded so benches can report the before/after ratio.
-    MetricsRegistry& metrics = sim_->metrics();
-    metrics.Inc(kEagerCopies, from, tag);
-    metrics.Inc(kEagerCopyBytes, from, tag, payload.size());
+    if (fast_metrics_) {
+      c_eager_copies_.Inc(from, tag);
+      c_eager_copy_bytes_.Inc(from, tag, payload.size());
+    } else {
+      MetricsRegistry& metrics = sim_->metrics();
+      metrics.Inc(kEagerCopies, from, tag);
+      metrics.Inc(kEagerCopyBytes, from, tag, payload.size());
+    }
 
     CountOffered(from, to, tag, payload);
     if (!PassesFaultChecks(from, to)) {
@@ -204,15 +259,23 @@ void Network::Multicast(NodeId from, NodeId first, NodeId last,
 
 void Network::BlockLink(NodeId a, NodeId b) {
   blocked_links_.insert({std::min(a, b), std::max(a, b)});
+  RefreshFaultFlag();
 }
 
 void Network::UnblockLink(NodeId a, NodeId b) {
   blocked_links_.erase({std::min(a, b), std::max(a, b)});
+  RefreshFaultFlag();
 }
 
-void Network::Isolate(NodeId node) { isolated_.insert(node); }
+void Network::Isolate(NodeId node) {
+  isolated_.insert(node);
+  RefreshFaultFlag();
+}
 
-void Network::Heal(NodeId node) { isolated_.erase(node); }
+void Network::Heal(NodeId node) {
+  isolated_.erase(node);
+  RefreshFaultFlag();
+}
 
 void Network::SetLinkDelay(NodeId a, NodeId b, SimTime extra_us) {
   if (extra_us <= 0) {
@@ -228,6 +291,7 @@ void Network::SetLinkDropProbability(NodeId a, NodeId b, double p) {
   } else {
     link_drop_[LinkKey(a, b)] = p;
   }
+  RefreshFaultFlag();
 }
 
 void Network::SetDuplication(double p, int max_copies) {

@@ -34,7 +34,7 @@ namespace bftbase {
 
 class Network {
  public:
-  explicit Network(Simulation* sim) : sim_(sim) {}
+  explicit Network(Simulation* sim);
 
   // Sends `payload` from `from` to `to`. Delivery is scheduled after the cost
   // model's latency unless a fault suppresses it. Self-sends are delivered
@@ -63,7 +63,10 @@ class Network {
 
   // Uniform drop probability applied to every message (after the checks
   // above). Deterministic given the simulation seed.
-  void SetDropProbability(double p) { drop_probability_ = p; }
+  void SetDropProbability(double p) {
+    drop_probability_ = p;
+    RefreshFaultFlag();
+  }
 
   // Extra random delay in [0, jitter_us] added per message.
   void SetJitter(SimTime jitter_us) { jitter_us_ = jitter_us; }
@@ -124,6 +127,11 @@ class Network {
     return {std::min(a, b), std::max(a, b)};
   }
   bool LinkBlocked(NodeId a, NodeId b) const;
+  // Recomputes no_faults_armed_; called by every lever setter.
+  void RefreshFaultFlag() {
+    no_faults_armed_ = isolated_.empty() && blocked_links_.empty() &&
+                       drop_probability_ <= 0.0 && link_drop_.empty();
+  }
   // Consumes the per-message fault decisions (isolation, blocked link, random
   // drop) in the exact order the pre-zero-copy fabric did, so same-seed RNG
   // streams are unchanged. The per-link levers draw afterwards, and only
@@ -141,6 +149,27 @@ class Network {
                std::shared_ptr<const Bytes> payload);
 
   Simulation* sim_;
+  // Scale-kernel fast path: pre-resolved counter handles so the per-message
+  // accounting is a pointer chase instead of a string-map walk. When the
+  // simulation runs the legacy kernel (fast_metrics_ false) the same cells
+  // are updated through the legacy string-keyed MetricsRegistry::Inc calls,
+  // reproducing the pre-overhaul accounting cost for honest before/after
+  // benchmarking. Values and iteration order are identical either way.
+  bool fast_metrics_ = false;
+  // True while no lever that PassesFaultChecks consults is armed; lets the
+  // fast path skip the per-message set walks entirely.
+  bool no_faults_armed_ = true;
+  MetricsRegistry::Counter c_msgs_offered_;
+  MetricsRegistry::Counter c_msgs_delivered_;
+  MetricsRegistry::Counter c_msgs_dropped_;
+  MetricsRegistry::Counter c_msgs_duplicated_;
+  MetricsRegistry::Counter c_bytes_offered_;
+  MetricsRegistry::Counter c_bytes_delivered_;
+  MetricsRegistry::Counter c_bytes_dropped_;
+  MetricsRegistry::Counter c_payload_copies_;
+  MetricsRegistry::Counter c_bytes_copied_;
+  MetricsRegistry::Counter c_eager_copies_;
+  MetricsRegistry::Counter c_eager_copy_bytes_;
   std::set<Link> blocked_links_;
   std::set<NodeId> isolated_;
   double drop_probability_ = 0.0;

@@ -1,14 +1,13 @@
 #include "src/sim/simulation.h"
 
-#include <cassert>
-
 #include "src/sim/network.h"
+#include "src/util/hotpath.h"
 #include "src/util/log.h"
 
 namespace bftbase {
 
 Simulation::Simulation(uint64_t seed, CostModel cost)
-    : cost_(cost), rng_(seed) {
+    : scale_kernel_(hotpath::scale_kernel_enabled()), cost_(cost), rng_(seed) {
   network_ = new Network(this);
 }
 
@@ -16,69 +15,151 @@ Simulation::~Simulation() { delete network_; }
 
 void Simulation::AddNode(NodeId id, SimNode* node) {
   assert(node != nullptr);
-  nodes_[id] = node;
+  assert(id >= 0);
+  nodes_map_[id] = node;
+  if (static_cast<size_t>(id) >= nodes_dense_.size()) {
+    nodes_dense_.resize(id + 1, nullptr);
+  }
+  nodes_dense_[id] = node;
 }
 
-void Simulation::RemoveNode(NodeId id) { nodes_.erase(id); }
-
-SimNode* Simulation::GetNode(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second;
+void Simulation::RemoveNode(NodeId id) {
+  nodes_map_.erase(id);
+  if (id >= 0 && static_cast<size_t>(id) < nodes_dense_.size()) {
+    nodes_dense_[id] = nullptr;
+  }
+  // Clear CPU-serialization state: a replica that crashes mid-handler and is
+  // later re-added must not start life behind a stale busy-until horizon.
+  busy_map_.erase(id);
+  if (id >= 0 && static_cast<size_t>(id) < busy_dense_.size()) {
+    busy_dense_[id] = 0;
+  }
 }
 
-TimerId Simulation::After(NodeId owner, SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0);
-  TimerId id = next_timer_id_++;
-  queue_.push(Event{now_ + delay, next_seq_++, owner, std::move(fn), id});
+TimerId Simulation::AfterFast(NodeId owner, SimTime when, InlineFn fn) {
+  const uint32_t idx = pool_.Acquire();
+  PooledEvent& slot = pool_.at(idx);
+  slot.kind = PooledEvent::Kind::kCallback;
+  slot.owner = owner;
+  slot.fn = std::move(fn);
+  heap_.Push({when, next_seq_++, idx});
+  NotePushed(heap_.Size());
+  return PackTimerId(idx, slot.generation);
+}
+
+TimerId Simulation::AfterLegacy(NodeId owner, SimTime when,
+                                std::function<void()> fn) {
+  // The legacy kernel stores the callback in the queue (and copies it on pop
+  // and requeue, as the pre-overhaul kernel did); the pool slot only tracks
+  // cancellation, so Cancel stays O(1) and bounded in both modes.
+  const uint32_t idx = pool_.Acquire();
+  PooledEvent& slot = pool_.at(idx);
+  slot.kind = PooledEvent::Kind::kCallback;
+  slot.owner = owner;
+  const TimerId id = PackTimerId(idx, slot.generation);
+  legacy_queue_.push(LegacyEvent{when, next_seq_++, owner, std::move(fn), id});
+  NotePushed(legacy_queue_.size());
   return id;
 }
 
-void Simulation::Cancel(TimerId id) { cancelled_[id] = true; }
+void Simulation::Cancel(TimerId id) {
+  const uint32_t idx = static_cast<uint32_t>(id >> 32);
+  const uint32_t generation = static_cast<uint32_t>(id);
+  if (generation == 0 || idx >= pool_.slots()) {
+    return;  // never a valid armed timer (0 is the caller-side sentinel)
+  }
+  PooledEvent& slot = pool_.at(idx);
+  if (slot.kind != PooledEvent::Kind::kCallback ||
+      slot.generation != generation) {
+    return;  // already fired (slot freed or recycled): O(1) no-op
+  }
+  slot.cancelled = true;
+}
 
 void Simulation::ChargeCpu(SimTime cpu_cost) {
   assert(cpu_cost >= 0);
   handler_cpu_ += cpu_cost;
 }
 
+void Simulation::SetBusyUntil(NodeId owner, SimTime until) {
+  if (scale_kernel_) {
+    if (static_cast<size_t>(owner) >= busy_dense_.size()) {
+      busy_dense_.resize(owner + 1, 0);
+    }
+    busy_dense_[owner] = until;
+  } else {
+    busy_map_[owner] = until;
+  }
+}
+
 void Simulation::ScheduleDelivery(SimTime when, NodeId to, NodeId from,
                                   std::shared_ptr<const Bytes> payload,
                                   int tag) {
-  queue_.push(Event{when, next_seq_++, to,
-                    [this, to, from, tag, payload = std::move(payload)]() {
-                      SimNode* node = GetNode(to);
-                      if (node != nullptr) {
-                        trace_.Record(TraceEvent::kMsgDeliver, now_, from, to,
-                                      payload->size(),
-                                      static_cast<uint64_t>(tag));
-                        // Expose the shared buffer to the handler so the
-                        // receive path can key caches by buffer identity.
-                        // Saved/restored because OnMessage may replay stashed
-                        // wires through nested OnMessage calls.
-                        std::shared_ptr<const Bytes> prev =
-                            std::move(current_delivery_);
-                        current_delivery_ = payload;
-                        node->OnMessage(from, *payload);
-                        current_delivery_ = std::move(prev);
-                      }
-                    },
-                    0});
+  if (scale_kernel_) {
+    // A delivery is a tagged struct in a recycled pool slot — no callback,
+    // no allocation beyond the slot itself.
+    const uint32_t idx = pool_.Acquire();
+    PooledEvent& slot = pool_.at(idx);
+    slot.kind = PooledEvent::Kind::kDelivery;
+    slot.owner = to;
+    slot.from = from;
+    slot.tag = tag;
+    slot.payload = std::move(payload);
+    heap_.Push({when, next_seq_++, idx});
+    NotePushed(heap_.Size());
+    return;
+  }
+  // Legacy: every delivery heap-allocates a capturing lambda.
+  legacy_queue_.push(
+      LegacyEvent{when, next_seq_++, to,
+                  [this, to, from, tag, payload = std::move(payload)]() {
+                    RunDelivery(to, from, tag, payload);
+                  },
+                  0});
+  NotePushed(legacy_queue_.size());
 }
 
-void Simulation::RunHandler(const Event& ev) {
+void Simulation::RunDelivery(NodeId to, NodeId from, int tag,
+                             std::shared_ptr<const Bytes> payload) {
+  SimNode* node = GetNode(to);
+  if (node == nullptr) {
+    return;
+  }
+  trace_.Record(TraceEvent::kMsgDeliver, now_, from, to, payload->size(),
+                static_cast<uint64_t>(tag));
+  // Expose the shared buffer to the handler so the receive path can key
+  // caches by buffer identity. Saved/restored because OnMessage may replay
+  // stashed wires through nested OnMessage calls.
+  std::shared_ptr<const Bytes> prev = std::move(current_delivery_);
+  current_delivery_ = std::move(payload);
+  node->OnMessage(from, *current_delivery_);
+  current_delivery_ = std::move(prev);
+}
+
+void Simulation::RunHandlerLegacy(const LegacyEvent& ev) {
   // Serialize on the owning node's CPU: the handler starts when both the
   // event time has arrived and the node is free.
   if (ev.owner != kNoOwner) {
-    auto it = busy_until_.find(ev.owner);
-    if (it != busy_until_.end() && it->second > now_) {
-      // Requeue behind the node's current work.
-      queue_.push(Event{it->second, next_seq_++, ev.owner, ev.fn, ev.timer_id});
+    auto it = busy_map_.find(ev.owner);
+    if (it != busy_map_.end() && it->second > now_) {
+      // Requeue behind the node's current work — copying the whole event,
+      // callback and captured buffer included (the pre-overhaul behavior the
+      // scale kernel's move-only requeue is measured against).
+      legacy_queue_.push(
+          LegacyEvent{it->second, next_seq_++, ev.owner, ev.fn, ev.timer_id});
+      NotePushed(legacy_queue_.size());
+      ++hotpath::counters().events_requeued;
       return;
     }
+  }
+  if (ev.timer_id != 0) {
+    // About to run: retire the cancellation slot.
+    pool_.Release(static_cast<uint32_t>(ev.timer_id >> 32));
   }
   handler_cpu_ = 0;
   ev.fn();
   if (ev.owner != kNoOwner && handler_cpu_ > 0) {
-    busy_until_[ev.owner] = now_ + handler_cpu_;
+    busy_map_[ev.owner] = now_ + handler_cpu_;
   }
   handler_cpu_ = 0;
   ++events_processed_;
@@ -88,33 +169,95 @@ void Simulation::RunHandler(const Event& ev) {
 }
 
 void Simulation::PruneCancelledTop() {
-  // Discard cancelled timers sitting at the head of the queue so that
-  // queue_.top() always refers to an event that will actually run. Without
-  // this, deadline checks in RunUntil/RunUntilTrue would look at a cancelled
-  // event's time and Step() could silently run an event far beyond the
-  // caller's deadline.
-  while (!queue_.empty() && queue_.top().timer_id != 0) {
-    auto it = cancelled_.find(queue_.top().timer_id);
-    if (it == cancelled_.end()) {
-      break;
+  // Discard cancelled timers sitting at the head of the queue. The check is
+  // an O(1) flag read on the timer's pool slot in both kernels.
+  if (scale_kernel_) {
+    while (!heap_.Empty()) {
+      const uint32_t idx = heap_.Top().pool_index;
+      if (!pool_.at(idx).cancelled) {
+        break;
+      }
+      heap_.PopTop();
+      pool_.Release(idx);
+      ++hotpath::counters().events_pruned;
     }
-    cancelled_.erase(it);
-    queue_.pop();
+  } else {
+    while (!legacy_queue_.empty() && legacy_queue_.top().timer_id != 0) {
+      const uint32_t idx =
+          static_cast<uint32_t>(legacy_queue_.top().timer_id >> 32);
+      if (!pool_.at(idx).cancelled) {
+        break;
+      }
+      legacy_queue_.pop();
+      pool_.Release(idx);
+      ++hotpath::counters().events_pruned;
+    }
   }
 }
 
-bool Simulation::Step() {
+bool Simulation::StepFast() {
   PruneCancelledTop();
-  if (queue_.empty()) {
+  if (heap_.Empty()) {
     return false;
   }
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  RunHandler(ev);
+  const HeapEntry top = heap_.PopTop();
+  assert(top.time >= now_);
+  now_ = top.time;
+  PooledEvent& slot = pool_.at(top.pool_index);
+  const NodeId owner = slot.owner;
+  if (owner != kNoOwner) {
+    const SimTime busy = BusyUntil(owner);
+    if (busy > now_) {
+      // Defer behind the node's current work: push a fresh 24-byte heap
+      // entry pointing at the same pool slot. The event — callback, shared
+      // buffer and all — is moved, never copied.
+      heap_.Push({busy, next_seq_++, top.pool_index});
+      NotePushed(heap_.Size());
+      ++hotpath::counters().events_requeued;
+      return true;
+    }
+  }
+  // Extract the event and release its slot before running the handler: the
+  // handler may schedule new events, which can grow the pool (invalidating
+  // references) and immediately recycle this slot.
+  const PooledEvent::Kind kind = slot.kind;
+  const NodeId from = slot.from;
+  const int tag = slot.tag;
+  std::shared_ptr<const Bytes> payload = std::move(slot.payload);
+  InlineFn fn = std::move(slot.fn);
+  pool_.Release(top.pool_index);
+
+  handler_cpu_ = 0;
+  if (kind == PooledEvent::Kind::kDelivery) {
+    RunDelivery(owner, from, tag, std::move(payload));
+  } else {
+    fn();
+  }
+  if (owner != kNoOwner && handler_cpu_ > 0) {
+    SetBusyUntil(owner, now_ + handler_cpu_);
+  }
+  handler_cpu_ = 0;
+  ++events_processed_;
+  if (step_observer_) {
+    step_observer_();
+  }
   return true;
 }
+
+bool Simulation::StepLegacy() {
+  PruneCancelledTop();
+  if (legacy_queue_.empty()) {
+    return false;
+  }
+  LegacyEvent ev = legacy_queue_.top();  // the legacy kernel's per-step copy
+  legacy_queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  RunHandlerLegacy(ev);
+  return true;
+}
+
+bool Simulation::Step() { return scale_kernel_ ? StepFast() : StepLegacy(); }
 
 void Simulation::RunUntilIdle() {
   while (Step()) {
@@ -124,7 +267,7 @@ void Simulation::RunUntilIdle() {
 void Simulation::RunUntil(SimTime deadline) {
   for (;;) {
     PruneCancelledTop();
-    if (queue_.empty() || queue_.top().time > deadline) {
+    if (QueueEmpty() || QueueTopTime() > deadline) {
       break;
     }
     Step();
@@ -141,7 +284,7 @@ bool Simulation::RunUntilTrue(const std::function<bool()>& pred,
   }
   for (;;) {
     PruneCancelledTop();
-    if (queue_.empty() || queue_.top().time > deadline) {
+    if (QueueEmpty() || QueueTopTime() > deadline) {
       break;
     }
     Step();

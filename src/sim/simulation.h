@@ -11,18 +11,34 @@
 // node is then busy until the accumulated finish time, and later events for
 // that node are delayed behind it. Messages sent from within a handler leave
 // the node at its current finish time.
+//
+// Scale-out event kernel (default): events live in a pooled, move-only
+// representation (src/sim/event_queue.h) — deliveries are tagged structs, not
+// capturing lambdas; timers use small-buffer-optimized callables — scheduled
+// by a 4-ary heap of 24-byte PODs, with O(1) generation-checked timer
+// cancellation, dense NodeId-indexed node/busy tables, and pre-resolved
+// metric handles on the network path. hotpath::SetScaleKernelEnabled(false)
+// (sampled at construction) selects the legacy kernel instead: a
+// std::priority_queue of std::function events copied on pop and requeue,
+// std::map node tables and string-keyed metric updates — the pre-overhaul
+// cost profile, kept so one binary can measure an honest before/after
+// (bench_scale). Event order, RNG draws and EventTrace digests are
+// byte-identical in both modes; see DESIGN.md §10 for the argument.
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/sim/cost_model.h"
 #include "src/sim/digest_memo.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 #include "src/util/bytes.h"
@@ -66,17 +82,40 @@ class Simulation {
   EventTrace& trace() { return trace_; }
   const EventTrace& trace() const { return trace_; }
 
-  // Registers a node under `id`. The node must outlive the simulation run.
+  // Registers a node under `id` (id >= 0). The node must outlive the
+  // simulation run.
   void AddNode(NodeId id, SimNode* node);
+  // Unregisters `id` and clears its CPU-serialization state, so a node re-added
+  // under the same id (crash/restart cycles) does not inherit a stale busy-
+  // until horizon.
   void RemoveNode(NodeId id);
-  SimNode* GetNode(NodeId id) const;
+  SimNode* GetNode(NodeId id) const {
+    if (scale_kernel_) {
+      return id >= 0 && static_cast<size_t>(id) < nodes_dense_.size()
+                 ? nodes_dense_[id]
+                 : nullptr;
+    }
+    auto it = nodes_map_.find(id);
+    return it == nodes_map_.end() ? nullptr : it->second;
+  }
 
   // Schedules `fn` to run `delay` from now on behalf of node `owner`
   // (owner's CPU serialization applies; pass kNoOwner for free-running
-  // events such as harness callbacks).
+  // events such as harness callbacks). The returned id is never 0, so 0 is
+  // safe as a caller-side "no timer" sentinel.
   static constexpr NodeId kNoOwner = -1;
-  TimerId After(NodeId owner, SimTime delay, std::function<void()> fn);
-  // Cancels a pending timer; no-op if already fired.
+  template <typename F>
+  TimerId After(NodeId owner, SimTime delay, F&& fn) {
+    assert(delay >= 0);
+    if (scale_kernel_) {
+      return AfterFast(owner, now_ + delay, InlineFn(std::forward<F>(fn)));
+    }
+    return AfterLegacy(owner, now_ + delay,
+                       std::function<void()>(std::forward<F>(fn)));
+  }
+  // Cancels a pending timer; O(1) no-op if it already fired, was already
+  // cancelled, or never existed (stale ids are detected by a per-slot
+  // generation check, so repeated cancels never grow any bookkeeping).
   void Cancel(TimerId id);
 
   // Accounts CPU work for the node whose handler is currently running.
@@ -95,6 +134,23 @@ class Simulation {
 
   // Total events processed (telemetry for tests/benches).
   uint64_t events_processed() const { return events_processed_; }
+
+  // --- Kernel telemetry (tests and bench_scale) ----------------------------
+  // Which kernel this simulation runs (sampled from
+  // hotpath::scale_kernel_enabled() at construction).
+  bool scale_kernel() const { return scale_kernel_; }
+  // High-water mark of the scheduler queue.
+  uint64_t peak_queue_depth() const { return peak_queue_depth_; }
+  // Events currently queued.
+  size_t queued_events() const {
+    return scale_kernel_ ? heap_.Size() : legacy_queue_.size();
+  }
+  // Pool capacity / in-flight events. Under the legacy kernel only
+  // cancellable timers occupy slots (deliveries live in the queue itself);
+  // under the scale kernel every queued event does. The Cancel-leak
+  // regression test asserts slots stay bounded under churn in both modes.
+  size_t event_pool_slots() const { return pool_.slots(); }
+  size_t event_pool_live() const { return pool_.live(); }
 
   // Invoked after every processed event; the invariant auditor hooks in here
   // so tests can assert protocol invariants after each simulation step.
@@ -120,15 +176,19 @@ class Simulation {
   DeliveryDigestMemo& digest_memo() { return digest_memo_; }
 
  private:
-  struct Event {
+  // Legacy kernel: the pre-overhaul event representation, kept verbatim so
+  // bench_scale can compare against it in one binary. Every event is a
+  // copyable std::function (deliveries are capturing lambdas); Step() copies
+  // the top, and deferral behind a busy node copies the whole event again.
+  struct LegacyEvent {
     SimTime time;
     uint64_t seq;  // tie-breaker: FIFO among same-time events
     NodeId owner;
     std::function<void()> fn;
     TimerId timer_id;  // 0 for non-cancellable events
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
+  struct LegacyEventOrder {
+    bool operator()(const LegacyEvent& a, const LegacyEvent& b) const {
       if (a.time != b.time) {
         return a.time > b.time;
       }
@@ -136,21 +196,71 @@ class Simulation {
     }
   };
 
-  void RunHandler(const Event& ev);
-  // Pops cancelled timers off the head of the queue.
-  void PruneCancelledTop();
+  // TimerIds pack (pool slot, slot generation); both kernels allocate a pool
+  // slot per cancellable timer so Cancel is uniform and bounded.
+  static TimerId PackTimerId(uint32_t slot, uint32_t generation) {
+    return (static_cast<TimerId>(slot) << 32) | generation;
+  }
 
+  TimerId AfterFast(NodeId owner, SimTime when, InlineFn fn);
+  TimerId AfterLegacy(NodeId owner, SimTime when, std::function<void()> fn);
+
+  bool StepFast();
+  bool StepLegacy();
+  void RunHandlerLegacy(const LegacyEvent& ev);
+  // Runs one delivery exactly as the legacy delivery lambda did.
+  void RunDelivery(NodeId to, NodeId from, int tag,
+                   std::shared_ptr<const Bytes> payload);
+
+  // Pops cancelled timers off the head of the queue so that the head always
+  // refers to an event that will actually run; without this, deadline checks
+  // in RunUntil/RunUntilTrue would look at a cancelled event's time and
+  // Step() could silently run an event far beyond the caller's deadline.
+  void PruneCancelledTop();
+  bool QueueEmpty() const {
+    return scale_kernel_ ? heap_.Empty() : legacy_queue_.empty();
+  }
+  SimTime QueueTopTime() const {
+    return scale_kernel_ ? heap_.Top().time : legacy_queue_.top().time;
+  }
+
+  SimTime BusyUntil(NodeId owner) const {
+    if (scale_kernel_) {
+      return static_cast<size_t>(owner) < busy_dense_.size()
+                 ? busy_dense_[owner]
+                 : 0;
+    }
+    auto it = busy_map_.find(owner);
+    return it == busy_map_.end() ? 0 : it->second;
+  }
+  void SetBusyUntil(NodeId owner, SimTime until);
+  void NotePushed(size_t depth) {
+    if (depth > peak_queue_depth_) {
+      peak_queue_depth_ = depth;
+    }
+  }
+
+  const bool scale_kernel_;
   CostModel cost_;
   Rng rng_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
-  uint64_t next_timer_id_ = 1;
   uint64_t events_processed_ = 0;
+  uint64_t peak_queue_depth_ = 0;
   SimTime handler_cpu_ = 0;  // CPU charged by the currently running handler
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::map<NodeId, SimNode*> nodes_;
-  std::map<NodeId, SimTime> busy_until_;
-  std::map<TimerId, bool> cancelled_;  // sparse: only timers ever cancelled
+
+  // Scale kernel state.
+  EventPool pool_;
+  EventHeap heap_;
+  std::vector<SimNode*> nodes_dense_;
+  std::vector<SimTime> busy_dense_;
+
+  // Legacy kernel state.
+  std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyEventOrder>
+      legacy_queue_;
+  std::map<NodeId, SimNode*> nodes_map_;
+  std::map<NodeId, SimTime> busy_map_;
+
   std::function<void()> step_observer_;
   MetricsRegistry metrics_;
   EventTrace trace_;

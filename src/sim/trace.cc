@@ -4,11 +4,8 @@
 
 namespace bftbase {
 
-void EventTrace::Record(TraceEvent event, SimTime time, int a, int b,
-                        uint64_t x, uint64_t y, BytesView extra) {
-  if (!enabled_) {
-    return;
-  }
+void EventTrace::RecordImpl(TraceEvent event, SimTime time, int a, int b,
+                            uint64_t x, uint64_t y, BytesView extra) {
   Encoder enc;
   enc.PutU8(static_cast<uint8_t>(event));
   enc.PutU64(static_cast<uint64_t>(time));

@@ -47,9 +47,16 @@ class EventTrace {
   // Folds one event into the trace. `a`/`b` are node ids (sender/receiver,
   // or replica/peer; pass -1 when unused), `x`/`y` event-specific values
   // (view/seq, payload size/type, ...), and `extra` optional raw bytes
-  // (payload or digest) bound into the stream.
+  // (payload or digest) bound into the stream. The enabled check is inline so
+  // a disabled trace costs one predictable branch on the event hot path, not
+  // a function call.
   void Record(TraceEvent event, SimTime time, int a, int b, uint64_t x,
-              uint64_t y, BytesView extra = BytesView());
+              uint64_t y, BytesView extra = BytesView()) {
+    if (!enabled_) {
+      return;
+    }
+    RecordImpl(event, time, a, b, x, y, extra);
+  }
 
   // Digest of everything recorded so far (the hasher keeps running; this
   // finalizes a copy).
@@ -63,6 +70,9 @@ class EventTrace {
   }
 
  private:
+  void RecordImpl(TraceEvent event, SimTime time, int a, int b, uint64_t x,
+                  uint64_t y, BytesView extra);
+
   bool enabled_ = false;
   uint64_t event_count_ = 0;
   Sha256 hasher_;

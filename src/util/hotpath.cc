@@ -4,17 +4,19 @@ namespace bftbase {
 namespace hotpath {
 
 namespace {
-Counters g_counters;
 bool g_caches_enabled = true;
+bool g_scale_kernel_enabled = true;
 }  // namespace
 
-Counters& counters() { return g_counters; }
-
-void ResetCounters() { g_counters = Counters{}; }
+void ResetCounters() { internal::g_counters = Counters{}; }
 
 bool caches_enabled() { return g_caches_enabled; }
 
 void SetCachesEnabled(bool enabled) { g_caches_enabled = enabled; }
+
+bool scale_kernel_enabled() { return g_scale_kernel_enabled; }
+
+void SetScaleKernelEnabled(bool enabled) { g_scale_kernel_enabled = enabled; }
 
 }  // namespace hotpath
 }  // namespace bftbase

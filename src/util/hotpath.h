@@ -30,16 +30,36 @@ struct Counters {
   // Delivered-envelope digest memo (src/sim/digest_memo.cc).
   uint64_t digest_memo_hits = 0;
   uint64_t digest_memo_misses = 0;
+  // Event kernel (src/sim/simulation.cc, scale kernel only).
+  uint64_t event_pool_allocs = 0;   // pool misses: a fresh slot was created
+  uint64_t event_pool_reuses = 0;   // pool hits: a slot came off the free list
+  uint64_t events_pruned = 0;       // cancelled timers discarded before firing
+  uint64_t events_requeued = 0;     // deliveries/timers deferred behind a busy
+                                    // node's CPU (moved, never copied)
 };
 
 // Mutable singleton; single-threaded simulation, so plain loads/stores.
-Counters& counters();
+// Inline so per-event counter bumps on the kernel fast path compile to a
+// direct global increment instead of a function call.
+namespace internal {
+inline Counters g_counters;
+}  // namespace internal
+inline Counters& counters() { return internal::g_counters; }
 void ResetCounters();
 
 // Result caches on/off (default on). Disabling reproduces the pre-cache
 // hashing profile exactly; outputs are identical either way.
 bool caches_enabled();
 void SetCachesEnabled(bool enabled);
+
+// Scale-out event kernel on/off (default on). Sampled by Simulation at
+// construction: when off, the simulation uses the legacy event path (heap of
+// std::function events that are copied on pop and requeue, std::map node and
+// busy tables, string-keyed metric updates per message) so one binary can
+// measure an honest before/after. Event order, RNG draws and EventTrace
+// digests are byte-identical in both modes; only real CPU work differs.
+bool scale_kernel_enabled();
+void SetScaleKernelEnabled(bool enabled);
 
 }  // namespace hotpath
 }  // namespace bftbase

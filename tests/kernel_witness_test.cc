@@ -1,0 +1,168 @@
+// Determinism witness for the scale-out event kernel (DESIGN.md §10).
+//
+// The kernel overhaul (pooled move-only events, 4-ary heap, generation-based
+// cancellation, dense node tables) must be invisible to every experiment:
+// same seed => byte-identical EventTrace digest, whichever kernel runs. This
+// suite replays the chaos-smoke seed set and the wall-clock bench configs
+// under both kernels and requires digest equality, and additionally pins
+// digests captured from the pre-overhaul kernel (commit 70d3242) so a drift
+// introduced by *both* kernels at once — where cross-checking alone would
+// still pass — fails against the recorded history.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/kv_adapter.h"
+#include "src/base/service_group.h"
+#include "src/util/hotpath.h"
+#include "src/workload/chaos.h"
+
+namespace bftbase {
+namespace {
+
+// Simulation samples the kernel switch at construction, so flipping it
+// around a run is race-free; restore so later tests see the default.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(bool enable)
+      : prev_(hotpath::scale_kernel_enabled()) {
+    hotpath::SetScaleKernelEnabled(enable);
+  }
+  ~ScopedKernel() { hotpath::SetScaleKernelEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+struct TraceResult {
+  bool ok = false;
+  std::string digest;
+  uint64_t events = 0;
+};
+
+constexpr uint32_t kKvSlots = 4096;
+
+// The bench_wallclock closed-loop KV workload, verbatim (same group
+// parameters, slot schedule and value bytes), with the trace enabled.
+TraceResult RunWallclock(int f, int clients, int requests_per_client,
+                         uint64_t seed) {
+  ServiceGroup::Params params;
+  params.config.f = f;
+  params.config.checkpoint_interval = 128;
+  params.config.log_window = 256;
+  params.config.max_clients = clients < 16 ? 16 : clients;
+  params.seed = seed;
+  ServiceGroup group(std::move(params), [](Simulation* sim, NodeId) {
+    return std::make_unique<KvAdapter>(sim, kKvSlots);
+  });
+  group.EnableTrace();
+
+  const uint64_t total =
+      static_cast<uint64_t>(clients) * requests_per_client;
+  uint64_t completed = 0;
+  Bytes value(1024, 0xab);
+  std::vector<int> issued(clients, 0);
+  std::vector<std::function<void()>> issue(clients);
+  for (int i = 0; i < clients; ++i) {
+    issue[i] = [&, i] {
+      if (issued[i] >= requests_per_client) {
+        return;
+      }
+      ++issued[i];
+      uint32_t slot = static_cast<uint32_t>(i * 997 + issued[i]) % kKvSlots;
+      group.client(i).Invoke(KvAdapter::EncodeSet(slot, value),
+                             /*read_only=*/false, [&, i](Status, Bytes) {
+                               ++completed;
+                               issue[i]();
+                             });
+    };
+  }
+  for (int i = 0; i < clients; ++i) {
+    issue[i]();
+  }
+  TraceResult r;
+  r.ok = group.sim().RunUntilTrue([&] { return completed == total; },
+                                  static_cast<SimTime>(total) * kSecond);
+  r.digest = group.sim().trace().digest().Hex();
+  r.events = group.sim().trace().event_count();
+  return r;
+}
+
+// Every chaos-smoke seed (the set bench_chaos --smoke replays), both
+// kernels: schedules, verdicts and trace digests must agree exactly.
+TEST(KernelWitness, ChaosSmokeSeedsIdenticalAcrossKernels) {
+  for (uint64_t seed = 1; seed <= 28; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    ChaosRunResult fast;
+    {
+      ScopedKernel kernel(true);
+      fast = RunChaos(options);
+    }
+    ChaosRunResult legacy;
+    {
+      ScopedKernel kernel(false);
+      legacy = RunChaos(options);
+    }
+    EXPECT_EQ(fast.trace_digest.Hex(), legacy.trace_digest.Hex())
+        << "seed " << seed;
+    EXPECT_EQ(fast.trace_events, legacy.trace_events) << "seed " << seed;
+    EXPECT_EQ(fast.schedule_digest.Hex(), legacy.schedule_digest.Hex())
+        << "seed " << seed;
+    EXPECT_EQ(fast.completed, legacy.completed) << "seed " << seed;
+    EXPECT_EQ(fast.verdict.linearizable, legacy.verdict.linearizable)
+        << "seed " << seed;
+    EXPECT_FALSE(fast.Failed()) << "seed " << seed;
+  }
+}
+
+// Pinned history: digests captured from the pre-overhaul kernel at commit
+// 70d3242. If these fail, the kernel changed observable event order — a
+// determinism regression even if both of today's kernels agree.
+TEST(KernelWitness, ChaosSeed1MatchesPreOverhaulPin) {
+  ChaosOptions options;
+  options.seed = 1;
+  for (bool scale : {true, false}) {
+    ScopedKernel kernel(scale);
+    ChaosRunResult r = RunChaos(options);
+    EXPECT_EQ(r.trace_digest.Hex(), "176d678d1243")
+        << (scale ? "scale" : "legacy") << " kernel";
+    EXPECT_EQ(r.trace_events, 2663u)
+        << (scale ? "scale" : "legacy") << " kernel";
+  }
+}
+
+TEST(KernelWitness, WallclockConfigsMatchPreOverhaulPins) {
+  struct Pin {
+    int f;
+    int clients;
+    int requests_per_client;
+    uint64_t seed;
+    const char* digest;
+    uint64_t events;
+  };
+  // The bench_wallclock --smoke configs (f1_1client, f2_16clients).
+  const Pin pins[] = {
+      {1, 1, 40, 7001, "228d57578ed1", 2918},
+      {2, 16, 5, 7002, "ff902786faa0", 5176},
+  };
+  for (const Pin& pin : pins) {
+    for (bool scale : {true, false}) {
+      ScopedKernel kernel(scale);
+      TraceResult r = RunWallclock(pin.f, pin.clients, pin.requests_per_client,
+                                   pin.seed);
+      ASSERT_TRUE(r.ok) << "seed " << pin.seed;
+      EXPECT_EQ(r.digest, pin.digest)
+          << "seed " << pin.seed << " " << (scale ? "scale" : "legacy");
+      EXPECT_EQ(r.events, pin.events)
+          << "seed " << pin.seed << " " << (scale ? "scale" : "legacy");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bftbase
