@@ -97,10 +97,22 @@ struct RunStats {
                ? static_cast<double>(eager_copy_bytes) / messages_delivered
                : 0;
   }
+
+  // Set when the run traced (crypto-kernel pair): the EventTrace digest that
+  // must be identical whichever implementation hashes the bytes.
+  std::string trace_digest;
+  uint64_t trace_events = 0;
 };
 
-RunStats RunOnce(const WallclockConfig& cfg, bool caches_enabled) {
-  hotpath::SetCachesEnabled(caches_enabled);
+struct RunOptions {
+  bool caches_enabled = true;
+  bool crypto_kernel = true;
+  bool trace = false;
+};
+
+RunStats RunOnce(const WallclockConfig& cfg, const RunOptions& opt) {
+  hotpath::SetCachesEnabled(opt.caches_enabled);
+  hotpath::SetCryptoKernelEnabled(opt.crypto_kernel);
   const hotpath::Counters before = hotpath::counters();
 
   ServiceGroup::Params params;
@@ -112,6 +124,9 @@ RunStats RunOnce(const WallclockConfig& cfg, bool caches_enabled) {
   ServiceGroup group(std::move(params), [](Simulation* sim, NodeId) {
     return std::make_unique<KvAdapter>(sim, kKvSlots);
   });
+  if (opt.trace) {
+    group.EnableTrace();
+  }
 
   const uint64_t total =
       static_cast<uint64_t>(cfg.clients) * cfg.requests_per_client;
@@ -144,10 +159,16 @@ RunStats RunOnce(const WallclockConfig& cfg, bool caches_enabled) {
       static_cast<SimTime>(total) * kSecond);
   auto stop = std::chrono::steady_clock::now();
 
-  hotpath::SetCachesEnabled(true);  // leave the process in the default state
+  // Leave the process in the default state.
+  hotpath::SetCachesEnabled(true);
+  hotpath::SetCryptoKernelEnabled(true);
 
   RunStats s;
   s.ok = finished;
+  if (opt.trace) {
+    s.trace_digest = group.sim().trace().digest().Hex();
+    s.trace_events = group.sim().trace().event_count();
+  }
   s.wall_sec = std::chrono::duration<double>(stop - start).count();
   s.requests = completed;
   s.sim_events = group.sim().events_processed();
@@ -250,8 +271,9 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   bool thresholds_met = true;
   for (const WallclockConfig& cfg : configs) {
-    RunStats uncached = RunOnce(cfg, /*caches_enabled=*/false);
-    RunStats cached = RunOnce(cfg, /*caches_enabled=*/true);
+    RunStats uncached =
+        RunOnce(cfg, RunOptions{.caches_enabled = false});
+    RunStats cached = RunOnce(cfg, RunOptions{.caches_enabled = true});
     all_ok = all_ok && uncached.ok && cached.ok;
 
     auto add_row = [&](const char* label, const RunStats& s) {
@@ -320,9 +342,73 @@ int main(int argc, char** argv) {
   }
 
   json.EndArray();
+
+  // Crypto hot-path kernel, like-for-like: the f=1 config with caches on
+  // both times, kernel off (scalar SHA-256 everywhere) then on (multi-lane
+  // MACs, one-shot digests, incremental tree rehash). The kernel replaces
+  // how bytes get hashed, never what the protocol does or what the cost
+  // model charges, so the same-seed EventTrace digests must be identical —
+  // that equality plus the wall-clock ratio is the honest before/after.
+  const WallclockConfig& crypto_cfg = configs[0];
+  RunStats crypto_off = RunOnce(
+      crypto_cfg, RunOptions{.crypto_kernel = false, .trace = true});
+  RunStats crypto_on = RunOnce(
+      crypto_cfg, RunOptions{.crypto_kernel = true, .trace = true});
+  all_ok = all_ok && crypto_off.ok && crypto_on.ok;
+  auto add_crypto_row = [&](const char* label, const RunStats& s) {
+    char reqs[64];
+    std::snprintf(reqs, sizeof(reqs), "%.0f", s.RequestsPerSec());
+    char evs[64];
+    std::snprintf(evs, sizeof(evs), "%.0f", s.EventsPerSec());
+    char sha[64];
+    std::snprintf(sha, sizeof(sha), "%.1f", s.ShaPerRequest());
+    char hashed[64];
+    std::snprintf(hashed, sizeof(hashed), "%.1f",
+                  s.BytesHashedPerRequest() / 1024.0);
+    char copied[64];
+    std::snprintf(copied, sizeof(copied), "%.0f", s.CopiedPerDelivered());
+    char eager[64];
+    std::snprintf(eager, sizeof(eager), "%.0f", s.EagerCopiedPerDelivered());
+    table.AddRow({crypto_cfg.name, label, reqs, evs, sha, hashed, copied,
+                  eager, FormatCount(s.memo_hits)});
+  };
+  add_crypto_row("crypto off", crypto_off);
+  add_crypto_row("crypto on", crypto_on);
+  double crypto_speedup =
+      crypto_off.wall_sec > 0 && crypto_on.wall_sec > 0
+          ? crypto_off.wall_sec / crypto_on.wall_sec
+          : 0;
+  bool traces_match = crypto_off.trace_digest == crypto_on.trace_digest &&
+                      crypto_off.trace_events == crypto_on.trace_events;
+  // Smoke runs are too short for a stable ratio (and also run under
+  // sanitizers); they enforce determinism only. Full runs gate the speedup.
+  bool crypto_met = traces_match && (smoke || crypto_speedup >= 1.4);
+  thresholds_met = thresholds_met && crypto_met;
+
+  json.Key("crypto_kernel");
+  json.BeginObject();
+  json.Field("config", crypto_cfg.name);
+  json.Key("before");  // kernel off == scalar hashing everywhere
+  EmitRunJson(json, crypto_off);
+  json.Key("after");
+  EmitRunJson(json, crypto_on);
+  json.Key("improvement");
+  json.BeginObject();
+  json.Field("wall_speedup", crypto_speedup);
+  json.Field("trace_digest_before", crypto_off.trace_digest);
+  json.Field("trace_digest_after", crypto_on.trace_digest);
+  json.Field("traces_match", traces_match);
+  json.Field("thresholds_met", crypto_met);
+  json.EndObject();
+  json.EndObject();
+
   json.EndObject();
 
   table.Print();
+  std::printf(
+      "\ncrypto kernel (config %s): %.2fx wall speedup, traces %s\n",
+      crypto_cfg.name.c_str(), crypto_speedup,
+      traces_match ? "identical" : "DIVERGED");
   std::printf(
       "\n'caches off' reproduces the pre-optimization profile (per-recipient\n"
       "digests, per-MAC key derivation); 'eager B/msg' is what the old\n"

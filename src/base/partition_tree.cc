@@ -1,6 +1,9 @@
 #include "src/base/partition_tree.h"
 
 #include <cassert>
+#include <utility>
+
+#include "src/util/hotpath.h"
 
 namespace bftbase {
 
@@ -13,9 +16,36 @@ void PartitionTree::Resize(size_t leaf_count) {
   if (leaf_count <= leaf_count_ && !levels_.empty()) {
     return;  // never shrinks
   }
+  const size_t old_leaf_count = levels_.empty() ? 0 : leaf_count_;
+  std::vector<std::vector<Node>> old_levels = std::move(levels_);
   leaf_count_ = std::max<size_t>(leaf_count, 1);
   leaves_.resize(leaf_count_, Digest());
   Rebuild();
+  // The cost model is unchanged: after a grow every interior node is dirty
+  // and the next Root() charges a full recompute, exactly as before. Real
+  // hashing can do better: a node's hash covers (level, index, children),
+  // so when the depth is unchanged, any node whose leaf range was complete
+  // under the old leaf count — and whose digest was current — hashes to the
+  // same bytes. Keep those digests; the next Root() skips re-hashing them.
+  // Depth growth shifts every node's level id (which is bound into its
+  // hash), so nothing is preservable then.
+  if (!hotpath::crypto_kernel_enabled() || old_leaf_count == 0 ||
+      old_levels.size() != levels_.size()) {
+    return;
+  }
+  size_t span = 1;  // leaves covered per node at the current level
+  for (int level = depth() - 1; level >= 0; --level) {
+    span *= branching_;
+    const auto& old_level = old_levels[level];
+    auto& new_level = levels_[level];
+    const size_t limit = std::min(old_level.size(), new_level.size());
+    for (size_t i = 0; i < limit; ++i) {
+      if (!old_level[i].stale && (i + 1) * span <= old_leaf_count) {
+        new_level[i].digest = old_level[i].digest;
+        new_level[i].stale = false;  // dirty stays true for the model
+      }
+    }
+  }
 }
 
 void PartitionTree::Rebuild() {
@@ -48,10 +78,15 @@ void PartitionTree::MarkPathDirty(size_t leaf_index) {
   size_t index = leaf_index;
   for (int level = depth() - 1; level >= 0; --level) {
     index /= branching_;
-    if (levels_[level][index].dirty) {
-      break;  // everything above is already dirty
+    Node& node = levels_[level][index];
+    if (node.dirty && node.stale) {
+      break;  // everything above is already marked
     }
-    levels_[level][index].dirty = true;
+    // A grow can leave nodes dirty (model) but not stale (digest preserved);
+    // a real leaf change must invalidate the digest too, so keep walking
+    // until both flags are set.
+    node.dirty = true;
+    node.stale = true;
   }
 }
 
@@ -75,12 +110,26 @@ std::pair<size_t, size_t> PartitionTree::LeafRange(int level,
 }
 
 Digest PartitionTree::ComputeNode(int level, size_t index) {
-  Digest::Builder builder;
-  builder.Add(static_cast<uint64_t>(level));
-  builder.Add(static_cast<uint64_t>(index));
   size_t child_width = LevelWidth(level + 1);
   size_t first = index * branching_;
   size_t last = std::min(first + branching_, child_width);
+  Node& node = levels_[level][index];
+  if (!node.stale && hotpath::crypto_kernel_enabled()) {
+    // Digest preserved across a grow. The children still get their model
+    // visit (the legacy path recomputed the whole subtree, and the cost
+    // model must charge identically), but no bytes are hashed for them
+    // unless their own digests are stale.
+    for (size_t child = first; child < last; ++child) {
+      NodeDigest(level + 1, child);
+    }
+    ++recomputed_nodes_;
+    ++hotpath::counters().tree_nodes_preserved;
+    return node.digest;
+  }
+  ++hotpath::counters().tree_nodes_rehashed;
+  Digest::Builder builder;
+  builder.Add(static_cast<uint64_t>(level));
+  builder.Add(static_cast<uint64_t>(index));
   for (size_t child = first; child < last; ++child) {
     builder.Add(NodeDigest(level + 1, child));
   }
@@ -96,6 +145,7 @@ Digest PartitionTree::NodeDigest(int level, size_t index) {
   if (node.dirty) {
     node.digest = ComputeNode(level, index);
     node.dirty = false;
+    node.stale = false;
   }
   return node.digest;
 }

@@ -1,5 +1,6 @@
 #include "src/bft/channel.h"
 
+#include <cstring>
 #include <optional>
 
 #include "src/util/codec.h"
@@ -10,12 +11,20 @@ namespace bftbase {
 namespace {
 
 // What gets authenticated: the envelope header bound to the payload digest.
+// The hashed stream is two little-endian u64s followed by the 32-byte payload
+// digest — flattened into one 48-byte buffer (byte-identical to the former
+// Builder chain) so the hash takes the single-compression one-shot path.
 Digest EnvelopeDigest(MsgType type, NodeId sender, BytesView payload) {
-  return Digest::Builder()
-      .Add(static_cast<uint64_t>(type))
-      .Add(static_cast<uint64_t>(sender))
-      .Add(Digest::Of(payload))
-      .Build();
+  uint8_t buf[48];
+  uint64_t type_u64 = static_cast<uint64_t>(type);
+  uint64_t sender_u64 = static_cast<uint64_t>(sender);
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<uint8_t>(type_u64 >> (8 * i));
+    buf[8 + i] = static_cast<uint8_t>(sender_u64 >> (8 * i));
+  }
+  Digest payload_digest = Digest::Of(payload);
+  std::memcpy(buf + 16, payload_digest.view().data(), Digest::kSize);
+  return Digest::Of(BytesView(buf, sizeof(buf)));
 }
 
 }  // namespace

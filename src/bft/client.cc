@@ -1,6 +1,9 @@
 #include "src/bft/client.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
+#include <vector>
 
 #include "src/util/log.h"
 
@@ -104,10 +107,12 @@ void Client::OnRetryTimeout() {
   if (p.tentative_phase) {
     // The read-only fast path did not assemble a 2f+1 quorum in time (e.g.
     // replicas were mid-recovery); fall back to the ordered protocol.
+    // Definitive votes and full results already received stay valid for
+    // this timestamp (matching digest == matching bytes), so only the
+    // tentative tally is discarded — the fallback may then complete with
+    // fewer fresh replies instead of a full new f+1 quorum.
     p.tentative_phase = false;
-    p.votes.clear();
     p.tentative_votes.clear();
-    p.full_results.clear();
   }
   SendRequest(/*to_all=*/true);
 }
@@ -136,9 +141,7 @@ void Client::HandleReply(const ReplyMsg& reply) {
     return;
   }
   Pending& p = *pending_;
-  if (reply.view > last_known_view_) {
-    last_known_view_ = reply.view;
-  }
+  NoteReplicaView(reply.replica, reply.view);
 
   Digest digest = reply.ResultDigest();
   if (!reply.result_is_digest) {
@@ -161,8 +164,17 @@ void Client::HandleReply(const ReplyMsg& reply) {
     auto it = p.full_results.find(d);
     if (it == p.full_results.end()) {
       // Quorum on the digest but nobody sent the full result yet (the
-      // designated replier may be faulty). Retransmit; replicas answer
-      // retransmissions with full results.
+      // designated replier may be faulty). Replicas answer retransmissions
+      // with full results, so retransmit eagerly once instead of idling
+      // until the backoff timer fires.
+      if (!p.result_retransmit_sent) {
+        p.result_retransmit_sent = true;
+        ++retries_;
+        if (p.retry_timer != 0) {
+          sim_->Cancel(p.retry_timer);
+        }
+        SendRequest(/*to_all=*/true);
+      }
       return false;
     }
     Bytes result = it->second;
@@ -184,6 +196,37 @@ void Client::HandleReply(const ReplyMsg& reply) {
         return;
       }
     }
+  }
+}
+
+void Client::NoteReplicaView(NodeId replica, ViewNum view) {
+  auto [it, inserted] = replica_views_.try_emplace(replica, view);
+  if (!inserted) {
+    if (view <= it->second) {
+      return;  // replicas' views are monotone; ignore stale claims
+    }
+    it->second = view;
+  }
+  if (view <= last_known_view_) {
+    return;
+  }
+  // Adopt the highest view that f+1 distinct replicas attest to: sorted
+  // descending, that is the (f+1)-th largest claim. A single Byzantine
+  // replica advertising an inflated view can no longer misdirect every
+  // first-attempt unicast at a non-primary.
+  const size_t needed = static_cast<size_t>(config_.f + 1);
+  if (replica_views_.size() < needed) {
+    return;
+  }
+  std::vector<ViewNum> claims;
+  claims.reserve(replica_views_.size());
+  for (const auto& [id, v] : replica_views_) {
+    claims.push_back(v);
+  }
+  std::sort(claims.begin(), claims.end(), std::greater<ViewNum>());
+  ViewNum attested = claims[needed - 1];
+  if (attested > last_known_view_) {
+    last_known_view_ = attested;
   }
 }
 

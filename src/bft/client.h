@@ -65,12 +65,20 @@ class Client : public SimNode {
     std::map<Digest, Bytes> full_results;  // digest -> full result bytes
     TimerId retry_timer = 0;
     int attempts = 0;
+    // Set once a digest quorum formed without a full result and the request
+    // was eagerly retransmitted (replicas answer retransmissions with full
+    // results); keeps a faulty designated replier from triggering a storm.
+    bool result_retransmit_sent = false;
     SimTime start_time = 0;
   };
 
   void SendRequest(bool to_all);
   void OnRetryTimeout();
   void HandleReply(const ReplyMsg& reply);
+  // Records that `replica` claims to be in `view` and adopts the highest
+  // view vouched for by f+1 distinct replicas (PBFT's rule for clients
+  // learning the current view: fewer than f+1 claims may all be Byzantine).
+  void NoteReplicaView(NodeId replica, ViewNum view);
   void Complete(Status status, Bytes result);
 
   Simulation* sim_;
@@ -84,6 +92,9 @@ class Client : public SimNode {
   Rng jitter_rng_;
   uint64_t next_timestamp_ = 1;
   ViewNum last_known_view_ = 0;
+  // Highest view each replica has claimed in a reply; last_known_view_ only
+  // advances to a view at least f+1 of these attest to.
+  std::map<NodeId, ViewNum> replica_views_;
   std::optional<Pending> pending_;
   uint64_t operations_completed_ = 0;
   uint64_t retries_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/crypto/sha256_multi.h"
 #include "src/util/hotpath.h"
 
 namespace bftbase {
@@ -73,6 +74,26 @@ HmacKey::HmacKey(BytesView key) {
 
 std::array<uint8_t, Sha256::kDigestSize> HmacKey::Hmac(
     BytesView message) const {
+  if (hotpath::crypto_kernel_enabled() &&
+      message.size() <= sha256_multi::kOneShotMax) {
+    // Both passes are midstate + one padded compression. Counters match the
+    // streaming path: two finalizes, two blocks, message + inner-digest
+    // bytes (the pad blocks were counted when the midstates were built).
+    auto& c = hotpath::counters();
+    c.bytes_hashed += message.size() + Sha256::kDigestSize;
+    c.sha256_invocations += 2;
+    c.sha256_blocks += 2;
+    uint32_t inner_state[8];
+    uint32_t outer_state[8];
+    ExportStates(inner_state, outer_state);
+    uint8_t inner_digest[Sha256::kDigestSize];
+    sha256_multi::FinalizeBlockMidstate(inner_state, message.data(),
+                                        message.size(), inner_digest);
+    std::array<uint8_t, Sha256::kDigestSize> out;
+    sha256_multi::FinalizeBlockMidstate(outer_state, inner_digest,
+                                        Sha256::kDigestSize, out.data());
+    return out;
+  }
   Sha256 inner = inner_;  // resume from the ipad midstate
   inner.Update(message);
   uint8_t inner_digest[Sha256::kDigestSize];
@@ -83,6 +104,11 @@ std::array<uint8_t, Sha256::kDigestSize> HmacKey::Hmac(
   std::array<uint8_t, Sha256::kDigestSize> out;
   outer.Final(out.data());
   return out;
+}
+
+void HmacKey::ExportStates(uint32_t inner[8], uint32_t outer[8]) const {
+  inner_.ExportState(inner);
+  outer_.ExportState(outer);
 }
 
 Mac HmacKey::MacOf(BytesView message) const {
@@ -145,6 +171,71 @@ Mac KeyTable::PairMac(int a, int b, BytesView message) const {
   return slot.second.MacOf(message);
 }
 
+const HmacKey& KeyTable::PairKey(int a, int b, HmacKey& scratch) const {
+  int lo = std::min(a, b);
+  int hi = std::max(a, b);
+  uint64_t epoch = std::max(epochs_[lo], epochs_[hi]);
+  if (!hotpath::caches_enabled()) {
+    // Caches and the crypto kernel are orthogonal switches: with caches off
+    // the midstates are rebuilt per MAC (same work as the uncached scalar
+    // path) but the lanes still run interleaved.
+    scratch = HmacKey(SessionKey(a, b));
+    return scratch;
+  }
+  auto& slot = session_cache_[{lo, hi}];
+  if (slot.first != epoch + 1) {
+    slot.second = HmacKey(DeriveSessionKey(lo, hi, epoch));
+    slot.first = epoch + 1;
+  }
+  return slot.second;
+}
+
+void KeyTable::PairMacs(int sender, int n, BytesView message, Mac* out) const {
+  if (!hotpath::crypto_kernel_enabled() ||
+      message.size() > sha256_multi::kOneShotMax) {
+    for (int i = 0; i < n; ++i) {
+      out[i] = PairMac(sender, i, message);
+    }
+    return;
+  }
+  constexpr size_t kLanes = sha256_multi::kMaxLanes;
+  auto& c = hotpath::counters();
+  for (int base = 0; base < n; base += static_cast<int>(kLanes)) {
+    const size_t lanes =
+        std::min(kLanes, static_cast<size_t>(n - base));
+    uint32_t inner_states[kLanes][8];
+    uint32_t outer_states[kLanes][8];
+    const uint32_t* inner_ptrs[kLanes];
+    const uint32_t* outer_ptrs[kLanes];
+    for (size_t l = 0; l < lanes; ++l) {
+      HmacKey scratch;
+      const HmacKey& key =
+          PairKey(sender, base + static_cast<int>(l), scratch);
+      key.ExportStates(inner_states[l], outer_states[l]);
+      inner_ptrs[l] = inner_states[l];
+      outer_ptrs[l] = outer_states[l];
+    }
+    // Inner pass: every lane hashes the same message from its own ipad
+    // midstate. Outer pass: each lane finishes over its inner digest.
+    uint8_t inner_digests[kLanes][Sha256::kDigestSize];
+    sha256_multi::FinalizeBlockMidstateLanes(inner_ptrs, message.data(),
+                                             message.size(), inner_digests,
+                                             lanes);
+    uint8_t full[kLanes][Sha256::kDigestSize];
+    sha256_multi::FinalizeBlockMidstateLanes32(outer_ptrs, inner_digests, full,
+                                               lanes);
+    ++c.hmac_lane_batches;
+    // Same logical work the scalar loop would count: per MAC, two finalizes
+    // of two blocks over message + inner-digest bytes.
+    c.sha256_invocations += 2 * lanes;
+    c.sha256_blocks += 2 * lanes;
+    c.bytes_hashed += lanes * (message.size() + Sha256::kDigestSize);
+    for (size_t l = 0; l < lanes; ++l) {
+      std::memcpy(out[base + static_cast<int>(l)].data(), full[l], kMacSize);
+    }
+  }
+}
+
 std::array<uint8_t, Sha256::kDigestSize> KeyTable::Sign(
     int node, BytesView message) const {
   if (!hotpath::caches_enabled()) {
@@ -163,10 +254,8 @@ void KeyTable::RefreshKeysFor(int node) { ++epochs_[node]; }
 Authenticator Authenticator::Compute(const KeyTable& keys, int sender, int n,
                                      BytesView message) {
   Authenticator auth;
-  auth.macs_.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    auth.macs_.push_back(keys.PairMac(sender, i, message));
-  }
+  auth.macs_.resize(n);
+  keys.PairMacs(sender, n, message, auth.macs_.data());
   return auth;
 }
 

@@ -49,6 +49,11 @@ class HmacKey {
   std::array<uint8_t, Sha256::kDigestSize> Hmac(BytesView message) const;
   Mac MacOf(BytesView message) const;
 
+  // Raw ipad/opad compression states, for the sha256_multi
+  // single-compression finalize path (each is the state after absorbing
+  // exactly one 64-byte pad block).
+  void ExportStates(uint32_t inner[8], uint32_t outer[8]) const;
+
  private:
   Sha256 inner_;  // midstate after the key xor ipad block
   Sha256 outer_;  // midstate after the key xor opad block
@@ -75,6 +80,14 @@ class KeyTable {
   // ComputeMac(SessionKey(a, b), message) but reuses the cached HmacKey.
   Mac PairMac(int a, int b, BytesView message) const;
 
+  // Computes out[i] = PairMac(sender, i, message) for every i in [0, n) — a
+  // full PBFT authenticator. When the crypto kernel is on and the message
+  // fits one compression block, the MACs run as interleaved SHA-256 lanes
+  // (all inner passes share the message block; outer passes finish over the
+  // per-lane inner digests); otherwise it loops over PairMac. Results and
+  // logical-work counters are identical either way.
+  void PairMacs(int sender, int n, BytesView message, Mac* out) const;
+
   // Signature stand-in: HMAC of `message` under `node`'s signing key.
   // Equivalent to HmacSha256(SigningKey(node), message).
   std::array<uint8_t, Sha256::kDigestSize> Sign(int node,
@@ -88,6 +101,9 @@ class KeyTable {
 
  private:
   Bytes DeriveSessionKey(int lo, int hi, uint64_t epoch) const;
+  // The (possibly cached) HmacKey for the pair; built into `scratch` when
+  // caches are off.
+  const HmacKey& PairKey(int a, int b, HmacKey& scratch) const;
 
   uint64_t master_secret_;
   std::vector<uint64_t> epochs_;

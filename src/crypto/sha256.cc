@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/crypto/sha256_multi.h"
 #include "src/util/hotpath.h"
 
 namespace bftbase {
@@ -52,9 +53,20 @@ void Sha256::Update(BytesView data) {
       buffer_len_ = 0;
     }
   }
-  while (data.size() - offset >= 64) {
-    ProcessBlock(data.data() + offset);
-    offset += 64;
+  size_t nblocks = (data.size() - offset) / 64;
+  if (nblocks > 0) {
+    if (hotpath::crypto_kernel_enabled()) {
+      // Same logical work (sha256_blocks counts it identically); only the
+      // compression unit differs.
+      hotpath::counters().sha256_blocks += nblocks;
+      sha256_multi::CompressBlocks(state_, data.data() + offset, nblocks);
+      offset += nblocks * 64;
+    } else {
+      for (size_t i = 0; i < nblocks; ++i) {
+        ProcessBlock(data.data() + offset);
+        offset += 64;
+      }
+    }
   }
   if (offset < data.size()) {
     std::memcpy(buffer_, data.data() + offset, data.size() - offset);
@@ -90,6 +102,10 @@ void Sha256::Final(uint8_t out[kDigestSize]) {
 
 void Sha256::ProcessBlock(const uint8_t block[64]) {
   ++hotpath::counters().sha256_blocks;
+  sha256_internal::Compress(state_, block);
+}
+
+void sha256_internal::Compress(uint32_t state_[8], const uint8_t block[64]) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
@@ -134,11 +150,26 @@ void Sha256::ProcessBlock(const uint8_t block[64]) {
 }
 
 std::array<uint8_t, Sha256::kDigestSize> Sha256::Hash(BytesView data) {
+  std::array<uint8_t, kDigestSize> out;
+  if (hotpath::crypto_kernel_enabled() &&
+      data.size() <= sha256_multi::kOneShotMax) {
+    // Single padded compression; counters match the streaming path exactly
+    // (one block, one finalize, message bytes only).
+    auto& c = hotpath::counters();
+    c.bytes_hashed += data.size();
+    ++c.sha256_invocations;
+    ++c.sha256_blocks;
+    sha256_multi::OneShot(data.data(), data.size(), out.data());
+    return out;
+  }
   Sha256 hasher;
   hasher.Update(data);
-  std::array<uint8_t, kDigestSize> out;
   hasher.Final(out.data());
   return out;
+}
+
+void Sha256::ExportState(uint32_t out[8]) const {
+  std::memcpy(out, state_, sizeof(state_));
 }
 
 }  // namespace bftbase

@@ -14,6 +14,13 @@
 
 namespace bftbase {
 
+namespace sha256_internal {
+// Scalar reference compression of one 64-byte block (no counter side
+// effects). Shared with src/crypto/sha256_multi.cc as its portable fallback
+// and by the equivalence tests as ground truth.
+void Compress(uint32_t state[8], const uint8_t block[64]);
+}  // namespace sha256_internal
+
 class Sha256 {
  public:
   static constexpr size_t kDigestSize = 32;
@@ -28,6 +35,12 @@ class Sha256 {
 
   // One-shot convenience.
   static std::array<uint8_t, kDigestSize> Hash(BytesView data);
+
+  // Copies the raw compression state into `out`. Only meaningful when an
+  // exact multiple of 64 bytes has been absorbed (internal buffer empty) —
+  // HMAC uses it to cache ipad/opad midstates for the single-compression
+  // finalize path in sha256_multi.
+  void ExportState(uint32_t out[8]) const;
 
  private:
   void ProcessBlock(const uint8_t block[64]);

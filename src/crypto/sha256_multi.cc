@@ -1,0 +1,531 @@
+#include "src/crypto/sha256_multi.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/crypto/sha256.h"
+#include "src/util/hotpath.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define BFTBASE_SHA_NI_BUILD 1
+#include <immintrin.h>
+#endif
+
+namespace bftbase {
+namespace sha256_multi {
+
+namespace {
+
+constexpr uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+// ---------------------------------------------------------------- SHA-NI
+
+#ifdef BFTBASE_SHA_NI_BUILD
+
+__attribute__((target("sha,sse4.1,ssse3"))) void CompressBlocksNi(
+    uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  // Byte-swap mask: each 32-bit word big-endian -> little-endian.
+  const __m128i kMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack {a..h} into the ABEF/CDGH register layout the SHA instructions
+  // expect.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);  // CDAB
+  st1 = _mm_shuffle_epi32(st1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, st1, 8);      // ABEF
+  __m128i state1 = _mm_blend_epi16(st1, tmp, 0xF0);   // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msgtmp;
+
+    // Rounds 0-3.
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kMask);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kMask);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kMask);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kMask);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  // Repack ABEF/CDGH -> {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool DetectShaNi() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+}
+
+#else  // !BFTBASE_SHA_NI_BUILD
+
+bool DetectShaNi() { return false; }
+
+#endif  // BFTBASE_SHA_NI_BUILD
+
+// ------------------------------------------------- portable interleaving
+
+// Structure-of-arrays SHA-256 over L independent lanes: every temporary is
+// an L-wide array and every step loops over the lanes, so the compiler can
+// keep the lanes in vector registers (L=4 fills an SSE register, L=8 an AVX2
+// one). Used when the CPU lacks SHA-NI, and by the equivalence tests.
+template <size_t L>
+void CompressLanesInterleaved(uint32_t* const states[],
+                              const uint8_t* const blocks[]) {
+  uint32_t w[16][L];
+  uint32_t a[L], b[L], c[L], d[L], e[L], f[L], g[L], h[L];
+  for (size_t l = 0; l < L; ++l) {
+    a[l] = states[l][0];
+    b[l] = states[l][1];
+    c[l] = states[l][2];
+    d[l] = states[l][3];
+    e[l] = states[l][4];
+    f[l] = states[l][5];
+    g[l] = states[l][6];
+    h[l] = states[l][7];
+  }
+  for (int i = 0; i < 16; ++i) {
+    for (size_t l = 0; l < L; ++l) {
+      w[i][l] = LoadBe32(blocks[l] + 4 * i);
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    uint32_t wi[L];
+    if (i < 16) {
+      for (size_t l = 0; l < L; ++l) {
+        wi[l] = w[i][l];
+      }
+    } else {
+      // Rolling 16-entry schedule, lane-parallel.
+      for (size_t l = 0; l < L; ++l) {
+        uint32_t w15 = w[(i - 15) & 15][l];
+        uint32_t w2 = w[(i - 2) & 15][l];
+        uint32_t s0 = Rotr(w15, 7) ^ Rotr(w15, 18) ^ (w15 >> 3);
+        uint32_t s1 = Rotr(w2, 17) ^ Rotr(w2, 19) ^ (w2 >> 10);
+        wi[l] = w[i & 15][l] + s0 + w[(i - 7) & 15][l] + s1;
+        w[i & 15][l] = wi[l];
+      }
+    }
+    for (size_t l = 0; l < L; ++l) {
+      uint32_t s1 = Rotr(e[l], 6) ^ Rotr(e[l], 11) ^ Rotr(e[l], 25);
+      uint32_t ch = (e[l] & f[l]) ^ (~e[l] & g[l]);
+      uint32_t temp1 = h[l] + s1 + ch + kK[i] + wi[l];
+      uint32_t s0 = Rotr(a[l], 2) ^ Rotr(a[l], 13) ^ Rotr(a[l], 22);
+      uint32_t maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+      uint32_t temp2 = s0 + maj;
+      h[l] = g[l];
+      g[l] = f[l];
+      f[l] = e[l];
+      e[l] = d[l] + temp1;
+      d[l] = c[l];
+      c[l] = b[l];
+      b[l] = a[l];
+      a[l] = temp1 + temp2;
+    }
+  }
+  for (size_t l = 0; l < L; ++l) {
+    states[l][0] += a[l];
+    states[l][1] += b[l];
+    states[l][2] += c[l];
+    states[l][3] += d[l];
+    states[l][4] += e[l];
+    states[l][5] += f[l];
+    states[l][6] += g[l];
+    states[l][7] += h[l];
+  }
+}
+
+// Builds the single padded tail block for a message of `len` <= kOneShotMax
+// bytes that follows `preceding` already-compressed bytes.
+void BuildOneBlock(const uint8_t* msg, size_t len, uint64_t preceding,
+                   uint8_t block[64]) {
+  if (len > 0) {
+    std::memcpy(block, msg, len);
+  }
+  block[len] = 0x80;
+  std::memset(block + len + 1, 0, 56 - (len + 1));
+  uint64_t bits = (preceding + len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<uint8_t>(bits >> (8 * (7 - i)));
+  }
+}
+
+void SerializeState(const uint32_t state[8], uint8_t out[32]) {
+  for (int i = 0; i < 8; ++i) {
+    StoreBe32(out + 4 * i, state[i]);
+  }
+}
+
+}  // namespace
+
+bool HasShaNi() {
+  static const bool has = DetectShaNi();
+  return has;
+}
+
+void CompressBlocks(uint32_t state[8], const uint8_t* data, size_t nblocks) {
+#ifdef BFTBASE_SHA_NI_BUILD
+  if (HasShaNi()) {
+    hotpath::counters().sha256_ni_blocks += nblocks;
+    CompressBlocksNi(state, data, nblocks);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < nblocks; ++i) {
+    sha256_internal::Compress(state, data + 64 * i);
+  }
+}
+
+void CompressLanesPortable(uint32_t* const states[],
+                           const uint8_t* const blocks[], size_t n) {
+  hotpath::counters().sha256_multi_blocks += n;
+  size_t done = 0;
+  while (n - done >= 8) {
+    CompressLanesInterleaved<8>(states + done, blocks + done);
+    done += 8;
+  }
+  if (n - done >= 4) {
+    CompressLanesInterleaved<4>(states + done, blocks + done);
+    done += 4;
+  }
+  for (; done < n; ++done) {
+    sha256_internal::Compress(states[done], blocks[done]);
+  }
+}
+
+void CompressLanes(uint32_t* const states[], const uint8_t* const blocks[],
+                   size_t n) {
+#ifdef BFTBASE_SHA_NI_BUILD
+  if (HasShaNi()) {
+    // One SHA-NI unit outruns the interleaved SIMD lanes, so lanes run
+    // back-to-back on it; the batch shape is kept for the portable path.
+    hotpath::counters().sha256_ni_blocks += n;
+    for (size_t i = 0; i < n; ++i) {
+      CompressBlocksNi(states[i], blocks[i], 1);
+    }
+    return;
+  }
+#endif
+  CompressLanesPortable(states, blocks, n);
+}
+
+void OneShot(const uint8_t* data, size_t len, uint8_t out[32]) {
+  ++hotpath::counters().sha256_oneshot;
+  uint8_t block[64];
+  BuildOneBlock(data, len, /*preceding=*/0, block);
+  uint32_t state[8];
+  std::memcpy(state, kIv, sizeof(state));
+  CompressBlocks(state, block, 1);
+  SerializeState(state, out);
+}
+
+void FinalizeBlockMidstate(const uint32_t midstate[8], const uint8_t* msg,
+                           size_t len, uint8_t out[32]) {
+  ++hotpath::counters().sha256_oneshot;
+  uint8_t block[64];
+  BuildOneBlock(msg, len, /*preceding=*/64, block);
+  uint32_t state[8];
+  std::memcpy(state, midstate, 8 * sizeof(uint32_t));
+  CompressBlocks(state, block, 1);
+  SerializeState(state, out);
+}
+
+void FinalizeBlockMidstateLanes(const uint32_t* const midstates[],
+                                const uint8_t* msg, size_t len,
+                                uint8_t (*outs)[32], size_t n) {
+  hotpath::counters().sha256_oneshot += n;
+  // All lanes hash the same tail block; only the midstates differ.
+  uint8_t block[64];
+  BuildOneBlock(msg, len, /*preceding=*/64, block);
+  uint32_t states[kMaxLanes][8];
+  uint32_t* state_ptrs[kMaxLanes] = {};
+  const uint8_t* block_ptrs[kMaxLanes] = {};
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(states[i], midstates[i], 8 * sizeof(uint32_t));
+    state_ptrs[i] = states[i];
+    block_ptrs[i] = block;
+  }
+  CompressLanes(state_ptrs, block_ptrs, n);
+  for (size_t i = 0; i < n; ++i) {
+    SerializeState(states[i], outs[i]);
+  }
+}
+
+void DigestMany(const BytesView* inputs, uint8_t (*outs)[32], size_t n) {
+  auto& c = hotpath::counters();
+  for (size_t base = 0; base < n; base += kMaxLanes) {
+    const size_t group = std::min(kMaxLanes, n - base);
+    uint32_t states[kMaxLanes][8];
+    // Merkle–Damgård tail: remainder bytes + 0x80 + zeros + 64-bit length,
+    // spanning one block (rem <= 55) or two.
+    uint8_t tails[kMaxLanes][128];
+    size_t full_blocks[kMaxLanes];
+    size_t total_blocks[kMaxLanes];
+    size_t max_blocks = 0;
+    for (size_t g = 0; g < group; ++g) {
+      const BytesView& in = inputs[base + g];
+      std::memcpy(states[g], kIv, sizeof(kIv));
+      const size_t rem = in.size() % 64;
+      full_blocks[g] = in.size() / 64;
+      const size_t tail_len = (rem + 9 <= 64) ? 64 : 128;
+      if (rem > 0) {
+        std::memcpy(tails[g], in.data() + in.size() - rem, rem);
+      }
+      tails[g][rem] = 0x80;
+      std::memset(tails[g] + rem + 1, 0, tail_len - 8 - (rem + 1));
+      const uint64_t bits = static_cast<uint64_t>(in.size()) * 8;
+      for (int i = 0; i < 8; ++i) {
+        tails[g][tail_len - 8 + i] = static_cast<uint8_t>(bits >> (8 * (7 - i)));
+      }
+      total_blocks[g] = full_blocks[g] + tail_len / 64;
+      max_blocks = std::max(max_blocks, total_blocks[g]);
+      ++c.sha256_invocations;
+      c.sha256_blocks += total_blocks[g];
+      c.bytes_hashed += in.size();
+    }
+    for (size_t r = 0; r < max_blocks; ++r) {
+      uint32_t* state_ptrs[kMaxLanes] = {};
+      const uint8_t* block_ptrs[kMaxLanes] = {};
+      size_t lanes = 0;
+      for (size_t g = 0; g < group; ++g) {
+        if (total_blocks[g] <= r) {
+          continue;  // this stream already finished
+        }
+        state_ptrs[lanes] = states[g];
+        block_ptrs[lanes] = r < full_blocks[g]
+                                ? inputs[base + g].data() + 64 * r
+                                : tails[g] + 64 * (r - full_blocks[g]);
+        ++lanes;
+      }
+      CompressLanes(state_ptrs, block_ptrs, lanes);
+    }
+    for (size_t g = 0; g < group; ++g) {
+      SerializeState(states[g], outs[base + g]);
+    }
+  }
+}
+
+void FinalizeBlockMidstateLanes32(const uint32_t* const midstates[],
+                                  const uint8_t (*msgs)[32],
+                                  uint8_t (*outs)[32], size_t n) {
+  hotpath::counters().sha256_oneshot += n;
+  uint8_t blocks[kMaxLanes][64];
+  uint32_t states[kMaxLanes][8];
+  uint32_t* state_ptrs[kMaxLanes] = {};
+  const uint8_t* block_ptrs[kMaxLanes] = {};
+  for (size_t i = 0; i < n; ++i) {
+    BuildOneBlock(msgs[i], 32, /*preceding=*/64, blocks[i]);
+    std::memcpy(states[i], midstates[i], 8 * sizeof(uint32_t));
+    state_ptrs[i] = states[i];
+    block_ptrs[i] = blocks[i];
+  }
+  CompressLanes(state_ptrs, block_ptrs, n);
+  for (size_t i = 0; i < n; ++i) {
+    SerializeState(states[i], outs[i]);
+  }
+}
+
+}  // namespace sha256_multi
+}  // namespace bftbase

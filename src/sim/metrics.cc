@@ -31,6 +31,12 @@ void SyncHotPathCounters(MetricsRegistry& metrics) {
   metrics.Set("hot.sha256_invocations", c.sha256_invocations);
   metrics.Set("hot.sha256_blocks", c.sha256_blocks);
   metrics.Set("hot.bytes_hashed", c.bytes_hashed);
+  metrics.Set("hot.sha256_oneshot", c.sha256_oneshot);
+  metrics.Set("hot.sha256_ni_blocks", c.sha256_ni_blocks);
+  metrics.Set("hot.sha256_multi_blocks", c.sha256_multi_blocks);
+  metrics.Set("hot.hmac_lane_batches", c.hmac_lane_batches);
+  metrics.Set("hot.tree_nodes_rehashed", c.tree_nodes_rehashed);
+  metrics.Set("hot.tree_nodes_preserved", c.tree_nodes_preserved);
   metrics.Set("hot.encode_allocs", c.encode_allocs);
   metrics.Set("hot.encode_reuses", c.encode_reuses);
   metrics.Set("hot.digest_memo_hits", c.digest_memo_hits);

@@ -5,6 +5,7 @@ namespace hotpath {
 
 namespace {
 bool g_caches_enabled = true;
+bool g_crypto_kernel_enabled = true;
 bool g_scale_kernel_enabled = true;
 }  // namespace
 
@@ -13,6 +14,10 @@ void ResetCounters() { internal::g_counters = Counters{}; }
 bool caches_enabled() { return g_caches_enabled; }
 
 void SetCachesEnabled(bool enabled) { g_caches_enabled = enabled; }
+
+bool crypto_kernel_enabled() { return g_crypto_kernel_enabled; }
+
+void SetCryptoKernelEnabled(bool enabled) { g_crypto_kernel_enabled = enabled; }
 
 bool scale_kernel_enabled() { return g_scale_kernel_enabled; }
 

@@ -24,6 +24,18 @@ struct Counters {
   uint64_t sha256_invocations = 0;  // Final() calls == completed hashes
   uint64_t sha256_blocks = 0;       // 64-byte compression rounds
   uint64_t bytes_hashed = 0;        // bytes fed through Update()
+  // Crypto kernel (src/crypto/sha256_multi.cc). These are per-path splits of
+  // sha256_blocks/invocations above, which keep counting the same logical
+  // work whichever implementation runs.
+  uint64_t sha256_oneshot = 0;      // single-compression fast-path hashes
+  uint64_t sha256_ni_blocks = 0;    // blocks compressed by the SHA-NI unit
+  uint64_t sha256_multi_blocks = 0; // blocks compressed in interleaved lanes
+  uint64_t hmac_lane_batches = 0;   // multi-lane HMAC passes (authenticators)
+  // Partition tree (src/base/partition_tree.cc). The cost model still sees
+  // every model-dirty node as recomputed; these split real hashing from
+  // digests preserved across a grow.
+  uint64_t tree_nodes_rehashed = 0;
+  uint64_t tree_nodes_preserved = 0;
   // Encode-buffer pool (src/util/bufpool.cc).
   uint64_t encode_allocs = 0;  // pool misses: a fresh heap buffer was made
   uint64_t encode_reuses = 0;  // pool hits: capacity recycled from the pool
@@ -51,6 +63,16 @@ void ResetCounters();
 // hashing profile exactly; outputs are identical either way.
 bool caches_enabled();
 void SetCachesEnabled(bool enabled);
+
+// Crypto kernel on/off (default on). When on, SHA-256 work routes through
+// src/crypto/sha256_multi.cc: SHA-NI (when the CPU has it) or interleaved
+// multi-lane compression for independent streams, single-compression
+// one-shot digests for short inputs, midstate-resumed HMAC finalization,
+// and digest preservation across partition-tree grows. Outputs are
+// byte-identical to the scalar streaming path and the simulated cost model
+// is untouched, so one binary measures an honest before/after.
+bool crypto_kernel_enabled();
+void SetCryptoKernelEnabled(bool enabled);
 
 // Scale-out event kernel on/off (default on). Sampled by Simulation at
 // construction: when off, the simulation uses the legacy event path (heap of

@@ -2,13 +2,32 @@
 // HMAC-SHA256 against RFC 4231 vectors, key table and authenticators.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "src/crypto/digest.h"
 #include "src/crypto/hmac.h"
 #include "src/crypto/sha256.h"
+#include "src/crypto/sha256_multi.h"
 #include "src/util/hotpath.h"
 
 namespace bftbase {
 namespace {
+
+// Pins the crypto-kernel switch for a scope; restores the prior setting.
+class ScopedCryptoKernel {
+ public:
+  explicit ScopedCryptoKernel(bool on)
+      : prev_(hotpath::crypto_kernel_enabled()) {
+    hotpath::SetCryptoKernelEnabled(on);
+  }
+  ~ScopedCryptoKernel() { hotpath::SetCryptoKernelEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
 
 std::string HashHex(BytesView data) {
   auto digest = Sha256::Hash(data);
@@ -203,6 +222,269 @@ TEST(Sha256, HotPathCountersTrackWork) {
   EXPECT_EQ(after.sha256_invocations - before.sha256_invocations, 1u);
   EXPECT_EQ(after.bytes_hashed - before.bytes_hashed, 150u);
   EXPECT_EQ(after.sha256_blocks - before.sha256_blocks, 3u);
+}
+
+TEST(Sha256Multi, NistCavpShortMessageVectors) {
+  // NIST CAVP SHA256ShortMsg.rsp (byte-oriented) known-answer tests; these
+  // lengths all take the one-shot single-compression path when the kernel
+  // is on.
+  struct Kat {
+    const char* msg_hex;
+    const char* digest_hex;
+  };
+  const Kat kats[] = {
+      {"d3",
+       "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"},
+      {"11af",
+       "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"},
+      {"b4190e",
+       "dff2e73091f6c05e528896c4c831b9448653dc2ff043528f6769437bc7b975c2"},
+      {"74ba2521",
+       "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e"},
+  };
+  for (bool kernel : {false, true}) {
+    ScopedCryptoKernel scoped(kernel);
+    for (const Kat& kat : kats) {
+      Bytes msg = HexDecode(kat.msg_hex);
+      EXPECT_EQ(HashHex(msg), kat.digest_hex)
+          << "msg " << kat.msg_hex << " kernel " << kernel;
+    }
+  }
+}
+
+TEST(Sha256Multi, KernelMatchesScalarAllLengths) {
+  // Exhaustive one-shot equivalence across every length 0..256: covers the
+  // single-compression fast path (<= 55), the padding boundaries (55/56,
+  // 63/64/65, 119/120) and the SHA-NI bulk path.
+  Bytes data(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  for (size_t len = 0; len <= 256; ++len) {
+    BytesView view(data.data(), len);
+    std::array<uint8_t, Sha256::kDigestSize> scalar;
+    std::array<uint8_t, Sha256::kDigestSize> kernel;
+    {
+      ScopedCryptoKernel off(false);
+      scalar = Sha256::Hash(view);
+    }
+    {
+      ScopedCryptoKernel on(true);
+      kernel = Sha256::Hash(view);
+    }
+    EXPECT_EQ(HexEncode(BytesView(kernel.data(), kernel.size())),
+              HexEncode(BytesView(scalar.data(), scalar.size())))
+        << "length " << len;
+  }
+}
+
+TEST(Sha256Multi, LanesMatchScalarCompression) {
+  // 1..8 lanes, distinct states and distinct blocks per lane, for both the
+  // dispatching entry point and the forced-portable interleaved path.
+  for (size_t n = 1; n <= sha256_multi::kMaxLanes; ++n) {
+    uint32_t expected[sha256_multi::kMaxLanes][8];
+    uint8_t blocks[sha256_multi::kMaxLanes][64];
+    for (size_t l = 0; l < n; ++l) {
+      // Distinct per-lane state: the IV advanced over one lane-specific
+      // block, computed with the scalar reference.
+      Sha256 seed;
+      seed.ExportState(expected[l]);
+      uint8_t seed_block[64];
+      for (int i = 0; i < 64; ++i) {
+        seed_block[i] = static_cast<uint8_t>(l * 131 + i);
+        blocks[l][i] = static_cast<uint8_t>(l * 17 + i * 3 + n);
+      }
+      sha256_internal::Compress(expected[l], seed_block);
+    }
+    uint32_t got_dispatch[sha256_multi::kMaxLanes][8];
+    uint32_t got_portable[sha256_multi::kMaxLanes][8];
+    uint32_t* dispatch_ptrs[sha256_multi::kMaxLanes];
+    uint32_t* portable_ptrs[sha256_multi::kMaxLanes];
+    const uint8_t* block_ptrs[sha256_multi::kMaxLanes];
+    for (size_t l = 0; l < n; ++l) {
+      std::memcpy(got_dispatch[l], expected[l], sizeof(expected[l]));
+      std::memcpy(got_portable[l], expected[l], sizeof(expected[l]));
+      dispatch_ptrs[l] = got_dispatch[l];
+      portable_ptrs[l] = got_portable[l];
+      block_ptrs[l] = blocks[l];
+      sha256_internal::Compress(expected[l], blocks[l]);  // ground truth
+    }
+    sha256_multi::CompressLanes(dispatch_ptrs, block_ptrs, n);
+    sha256_multi::CompressLanesPortable(portable_ptrs, block_ptrs, n);
+    for (size_t l = 0; l < n; ++l) {
+      EXPECT_EQ(0, std::memcmp(got_dispatch[l], expected[l], 32))
+          << "dispatch lane " << l << " of " << n;
+      EXPECT_EQ(0, std::memcmp(got_portable[l], expected[l], 32))
+          << "portable lane " << l << " of " << n;
+    }
+  }
+}
+
+TEST(Sha256Multi, FinalizeBlockMidstateMatchesStreaming) {
+  Bytes prefix(64);
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    prefix[i] = static_cast<uint8_t>(i ^ 0xa5);
+  }
+  Bytes msg(sha256_multi::kOneShotMax);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  for (size_t len = 0; len <= sha256_multi::kOneShotMax; ++len) {
+    Sha256 hasher;
+    hasher.Update(prefix);
+    uint32_t midstate[8];
+    hasher.ExportState(midstate);
+    uint8_t got[Sha256::kDigestSize];
+    sha256_multi::FinalizeBlockMidstate(midstate, msg.data(), len, got);
+
+    ScopedCryptoKernel off(false);
+    Sha256 ref;
+    ref.Update(prefix);
+    ref.Update(BytesView(msg.data(), len));
+    uint8_t expected[Sha256::kDigestSize];
+    ref.Final(expected);
+    EXPECT_EQ(HexEncode(BytesView(got, sizeof(got))),
+              HexEncode(BytesView(expected, sizeof(expected))))
+        << "length " << len;
+  }
+}
+
+TEST(Sha256Multi, DigestManyMatchesPerBufferHash) {
+  // Mixed lengths straddling every block/padding boundary, batched in one
+  // call (two lane groups) and as every prefix size 1..10.
+  const size_t lengths[] = {0, 1, 55, 56, 63, 64, 65, 100, 128, 1000};
+  const size_t count = sizeof(lengths) / sizeof(lengths[0]);
+  std::vector<Bytes> buffers;
+  std::vector<BytesView> views;
+  for (size_t i = 0; i < count; ++i) {
+    Bytes b(lengths[i]);
+    for (size_t j = 0; j < b.size(); ++j) {
+      b[j] = static_cast<uint8_t>(i * 41 + j * 13 + 5);
+    }
+    buffers.push_back(std::move(b));
+  }
+  for (const Bytes& b : buffers) {
+    views.emplace_back(b.data(), b.size());
+  }
+  for (size_t n = 1; n <= count; ++n) {
+    std::vector<std::array<uint8_t, Sha256::kDigestSize>> outs(n);
+    sha256_multi::DigestMany(
+        views.data(),
+        reinterpret_cast<uint8_t(*)[Sha256::kDigestSize]>(outs.data()), n);
+    ScopedCryptoKernel off(false);
+    for (size_t i = 0; i < n; ++i) {
+      auto expected = Sha256::Hash(views[i]);
+      EXPECT_EQ(HexEncode(BytesView(outs[i].data(), outs[i].size())),
+                HexEncode(BytesView(expected.data(), expected.size())))
+          << "buffer " << i << " of " << n;
+    }
+  }
+}
+
+TEST(HmacKey, KernelFastPathMatchesScalar) {
+  HmacKey key(Bytes(20, 0x0b));
+  Bytes msg(sha256_multi::kOneShotMax + 10);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i * 3 + 9);
+  }
+  for (size_t len = 0; len <= msg.size(); ++len) {
+    BytesView view(msg.data(), len);
+    std::array<uint8_t, Sha256::kDigestSize> scalar;
+    std::array<uint8_t, Sha256::kDigestSize> kernel;
+    {
+      ScopedCryptoKernel off(false);
+      scalar = key.Hmac(view);
+    }
+    {
+      ScopedCryptoKernel on(true);
+      kernel = key.Hmac(view);
+    }
+    EXPECT_EQ(HexEncode(BytesView(kernel.data(), kernel.size())),
+              HexEncode(BytesView(scalar.data(), scalar.size())))
+        << "length " << len;
+  }
+}
+
+TEST(KeyTable, PairMacsMatchesScalarLoopUnderAllSwitches) {
+  Bytes message = Digest::Of(ToBytes("authenticated digest")).ToBytes();
+  // Ground truth with every optimization off.
+  std::vector<Mac> reference(sha256_multi::kMaxLanes + 2);
+  {
+    ScopedCryptoKernel kernel_off(false);
+    hotpath::SetCachesEnabled(false);
+    KeyTable keys(0xfeedface, static_cast<int>(reference.size()) + 2);
+    for (size_t i = 0; i < reference.size(); ++i) {
+      reference[i] = keys.PairMac(static_cast<int>(reference.size()),
+                                  static_cast<int>(i), message);
+    }
+    hotpath::SetCachesEnabled(true);
+  }
+  for (bool kernel : {false, true}) {
+    for (bool caches : {false, true}) {
+      ScopedCryptoKernel scoped(kernel);
+      hotpath::SetCachesEnabled(caches);
+      KeyTable keys(0xfeedface, static_cast<int>(reference.size()) + 2);
+      for (size_t n = 1; n <= reference.size(); ++n) {
+        std::vector<Mac> got(n);
+        keys.PairMacs(static_cast<int>(reference.size()), static_cast<int>(n),
+                      message, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(got[i], reference[i])
+              << "n " << n << " i " << i << " kernel " << kernel << " caches "
+              << caches;
+        }
+      }
+      hotpath::SetCachesEnabled(true);
+    }
+  }
+}
+
+TEST(Sha256Multi, LogicalWorkCountersMatchScalarPath) {
+  // The kernel must not change what the generic counters *measure*: the same
+  // workload counts the same invocations/blocks/bytes whichever
+  // implementation runs (the per-path counters record which unit did it).
+  auto workload = [] {
+    KeyTable keys(0xabcdef, 8);
+    Bytes digest_msg = Digest::Of(ToBytes("payload")).ToBytes();
+    std::vector<Mac> macs(7);
+    keys.PairMacs(7, 7, digest_msg, macs.data());
+    keys.PairMac(1, 2, digest_msg);
+    Sha256::Hash(Bytes(20, 1));
+    Sha256::Hash(Bytes(55, 2));
+    Sha256::Hash(Bytes(56, 3));
+    Sha256::Hash(Bytes(300, 4));
+    HmacKey key(Bytes(16, 5));
+    key.Hmac(Bytes(40, 6));
+    key.Hmac(Bytes(80, 7));
+  };
+  uint64_t scalar[3];
+  uint64_t kernel[3];
+  {
+    ScopedCryptoKernel off(false);
+    hotpath::ResetCounters();
+    workload();
+    const hotpath::Counters& c = hotpath::counters();
+    scalar[0] = c.sha256_invocations;
+    scalar[1] = c.sha256_blocks;
+    scalar[2] = c.bytes_hashed;
+    EXPECT_EQ(c.sha256_oneshot, 0u);
+    EXPECT_EQ(c.hmac_lane_batches, 0u);
+  }
+  {
+    ScopedCryptoKernel on(true);
+    hotpath::ResetCounters();
+    workload();
+    const hotpath::Counters& c = hotpath::counters();
+    kernel[0] = c.sha256_invocations;
+    kernel[1] = c.sha256_blocks;
+    kernel[2] = c.bytes_hashed;
+    EXPECT_GT(c.sha256_oneshot, 0u);
+    EXPECT_GT(c.hmac_lane_batches, 0u);
+    EXPECT_GT(c.sha256_ni_blocks + c.sha256_multi_blocks, 0u);
+  }
+  EXPECT_EQ(kernel[0], scalar[0]);
+  EXPECT_EQ(kernel[1], scalar[1]);
+  EXPECT_EQ(kernel[2], scalar[2]);
 }
 
 TEST(Authenticator, VerifiesOnlyAddressedEntry) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/base/partition_tree.h"
+#include "src/util/hotpath.h"
 #include "src/util/rng.h"
 
 namespace bftbase {
@@ -116,6 +117,87 @@ TEST(PartitionTree, GrowKeepsExistingLeaves) {
     EXPECT_EQ(tree.Leaf(i), LeafDigest(i));
   }
   EXPECT_TRUE(tree.Leaf(50).IsZero());
+}
+
+// Restores the crypto-kernel switch on scope exit.
+class ScopedCryptoKernel {
+ public:
+  explicit ScopedCryptoKernel(bool on)
+      : prev_(hotpath::crypto_kernel_enabled()) {
+    hotpath::SetCryptoKernelEnabled(on);
+  }
+  ~ScopedCryptoKernel() { hotpath::SetCryptoKernelEnabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(PartitionTree, IncrementalGrowRehashMatchesFullRebuild) {
+  // Growing the tree and re-digesting only the genuinely stale paths must
+  // give the same root as the legacy rebuild-everything path, and the
+  // cost-model node count (which feeds the simulated CPU charge) must be
+  // identical either way.
+  for (int branching : {2, 4, 16}) {
+    std::vector<int> sizes = {5, 9, 16, 40, 41, 100};
+    uint64_t legacy_recomputed = 0;
+    uint64_t kernel_recomputed = 0;
+    Digest legacy_roots[6];
+    Digest kernel_roots[6];
+    for (bool kernel : {false, true}) {
+      ScopedCryptoKernel scoped(kernel);
+      hotpath::ResetCounters();
+      PartitionTree tree(branching);
+      int set = 0;
+      for (size_t step = 0; step < sizes.size(); ++step) {
+        tree.Resize(sizes[step]);
+        for (; set < sizes[step]; ++set) {
+          tree.SetLeaf(set, LeafDigest(set));
+        }
+        (kernel ? kernel_roots : legacy_roots)[step] = tree.Root();
+      }
+      (kernel ? kernel_recomputed : legacy_recomputed) =
+          tree.TakeRecomputedNodes();
+      if (kernel) {
+        EXPECT_GT(hotpath::counters().tree_nodes_preserved, 0u)
+            << "branching " << branching;
+      } else {
+        EXPECT_EQ(hotpath::counters().tree_nodes_preserved, 0u);
+      }
+    }
+    for (size_t step = 0; step < sizes.size(); ++step) {
+      EXPECT_EQ(kernel_roots[step], legacy_roots[step])
+          << "branching " << branching << " step " << step;
+    }
+    EXPECT_EQ(kernel_recomputed, legacy_recomputed)
+        << "branching " << branching;
+  }
+}
+
+TEST(PartitionTree, GrowThenMutateOldAndNewLeavesStaysConsistent) {
+  // Preserved subtree digests must not go stale silently: after a grow,
+  // mutate leaves inside and outside the preserved region and compare
+  // against a freshly built tree.
+  ScopedCryptoKernel on(true);
+  PartitionTree tree(4);
+  tree.Resize(16);
+  for (int i = 0; i < 16; ++i) {
+    tree.SetLeaf(i, LeafDigest(i));
+  }
+  tree.Root();
+  tree.Resize(60);  // same depth for branching 4 (capacity 64)
+  for (int i = 16; i < 60; ++i) {
+    tree.SetLeaf(i, LeafDigest(i));
+  }
+  tree.SetLeaf(3, Digest::Of(ToBytes("mutated-old")));
+  tree.SetLeaf(45, Digest::Of(ToBytes("mutated-new")));
+  PartitionTree fresh(4);
+  fresh.Resize(60);
+  for (int i = 0; i < 60; ++i) {
+    fresh.SetLeaf(i, LeafDigest(i));
+  }
+  fresh.SetLeaf(3, Digest::Of(ToBytes("mutated-old")));
+  fresh.SetLeaf(45, Digest::Of(ToBytes("mutated-new")));
+  EXPECT_EQ(tree.Root(), fresh.Root());
 }
 
 // Property sweep: across branching factors and sizes, incremental updates

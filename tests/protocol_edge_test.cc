@@ -9,6 +9,7 @@
 
 #include "src/base/kv_adapter.h"
 #include "src/base/service_group.h"
+#include "src/bft/channel.h"
 #include "src/bft/message.h"
 #include "src/sim/network.h"
 #include "tests/audit_helpers.h"
@@ -182,6 +183,153 @@ TEST(ProtocolEdge, ReplayedStaleRepliesCannotCompleteNewOperation) {
   // op1 really executed (the slot holds its value), and op2's result is the
   // GET's answer — not a stale SET acknowledgement.
   EXPECT_EQ(ToString(result), "first");
+}
+
+// A single Byzantine replica advertises a wildly inflated view in a reply.
+// The client must not adopt a view fewer than f+1 distinct replicas attest
+// to. The regression: the client used to believe the first higher view it
+// saw, then unicast its next request at PrimaryOf(inflated view) — the very
+// replica that lied — and had to burn a full retransmission timeout.
+TEST(ProtocolEdge, ClientIgnoresViewInflationWithoutQuorumOfAttestations) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.seed = 9004;
+  auto group = MakeGroup(std::move(params));
+  const NodeId client_id = group->config().ClientId(0);
+  const NodeId byzantine = 3;
+
+  // The liar also ignores anything unicast only at it: with the inflated
+  // view adopted, the next first-attempt request would simply vanish.
+  group->sim().network().SetInterceptor(
+      [&](NodeId, NodeId to, Bytes& wire) {
+        return !(to == byzantine &&
+                 WireType(wire) == static_cast<uint8_t>(MsgType::kRequest));
+      });
+
+  // op1 (timestamp 1): inject a forged reply claiming view 999 while the
+  // operation is in flight; the direct hop beats the ordered protocol, so
+  // the claim is on record before op1 completes.
+  bool done = false;
+  Status status = Unavailable("never completed");
+  group->client(0).Invoke(KvAdapter::EncodeSet(1, ToBytes("v")),
+                          /*read_only=*/false, [&](Status s, Bytes) {
+                            status = std::move(s);
+                            done = true;
+                          });
+  ReplyMsg fake;
+  fake.view = 999;
+  fake.timestamp = 1;
+  fake.client = client_id;
+  fake.replica = byzantine;
+  fake.result_is_digest = true;
+  fake.result = Digest::Of(ToBytes("bogus")).ToBytes();
+  Channel forge(&group->sim(), &group->keys(), group->config(), byzantine);
+  group->sim().network().Send(
+      byzantine, client_id,
+      forge.SealMac(MsgType::kReply, fake.Encode(), client_id));
+  ASSERT_TRUE(group->sim().RunUntilTrue([&] { return done; },
+                                        group->sim().Now() + 30 * kSecond));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // op2 must still go straight to the true primary (replica 0): no
+  // retransmissions, completion well inside one retry timeout.
+  auto r = group->Invoke(KvAdapter::EncodeGet(1));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ToString(*r), "v");
+  EXPECT_EQ(group->client(0).retries(), 0u);
+  EXPECT_LT(group->client(0).last_latency(),
+            group->config().client_retry_timeout);
+}
+
+// The read-only fast path fails to assemble its 2f+1 quorum and the client
+// falls back to the ordered protocol. Votes and full results received during
+// the tentative phase stay valid for the timestamp (matching digest means
+// matching bytes), so the fallback must keep them. Here the client only ever
+// sees the designated replier's TENTATIVE full result and DEFINITIVE digest
+// replies — completion is possible only if the fallback preserved the full
+// result learned during the tentative phase.
+TEST(ProtocolEdge, ReadOnlyFallbackKeepsVotesAndFullResults) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.seed = 9005;
+  auto group = MakeGroup(std::move(params));
+  const NodeId client_id = group->config().ClientId(0);
+
+  // Seed the slot with an ordered write before any interference.
+  ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(5, ToBytes("kept"))).ok());
+
+  group->sim().network().SetInterceptor(
+      [&](NodeId, NodeId to, Bytes& wire) {
+        if (to != client_id ||
+            WireType(wire) != static_cast<uint8_t>(MsgType::kReply)) {
+          return true;
+        }
+        auto parsed = Channel::ParseUnverified(wire);
+        if (!parsed.ok()) {
+          return true;
+        }
+        auto reply = ReplyMsg::Decode(parsed->payload);
+        if (!reply.ok()) {
+          return true;
+        }
+        if (reply->tentative) {
+          return !reply->result_is_digest;  // drop tentative digest replies
+        }
+        return reply->result_is_digest;  // drop definitive full results
+      });
+
+  auto r = group->Invoke(KvAdapter::EncodeGet(5), /*read_only=*/true,
+                         /*timeout=*/30 * kSecond);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ToString(*r), "kept");
+  // Exactly the fallback retransmission, and the operation finished within
+  // the fallback round itself — no second backoff was needed.
+  EXPECT_EQ(group->client(0).retries(), 1u);
+  EXPECT_GE(group->client(0).last_latency(),
+            group->config().client_retry_timeout);
+  EXPECT_LT(group->client(0).last_latency(),
+            2 * group->config().client_retry_timeout);
+}
+
+// A digest quorum forms but nobody delivered the full result (the designated
+// replier is faulty — modeled on the wire by dropping full-result replies
+// until the client retransmits). Replicas answer retransmissions from the
+// reply cache with full results, so the client retransmits eagerly ONCE
+// instead of idling until the backoff timer fires.
+TEST(ProtocolEdge, DigestQuorumWithoutResultRetransmitsEagerly) {
+  ServiceGroup::Params params;
+  params.config.f = 1;
+  params.seed = 9006;
+  auto group = MakeGroup(std::move(params));
+  const NodeId client_id = group->config().ClientId(0);
+
+  int client_requests_seen = 0;
+  group->sim().network().SetInterceptor(
+      [&](NodeId from, NodeId to, Bytes& wire) {
+        if (from == client_id &&
+            WireType(wire) == static_cast<uint8_t>(MsgType::kRequest)) {
+          ++client_requests_seen;
+          return true;
+        }
+        if (to != client_id || client_requests_seen > 1 ||
+            WireType(wire) != static_cast<uint8_t>(MsgType::kReply)) {
+          return true;
+        }
+        auto parsed = Channel::ParseUnverified(wire);
+        if (!parsed.ok()) {
+          return true;
+        }
+        auto reply = ReplyMsg::Decode(parsed->payload);
+        return !(reply.ok() && !reply->result_is_digest);
+      });
+
+  auto r = group->Invoke(KvAdapter::EncodeSet(2, ToBytes("fast")));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The retransmission was the eager one (digest quorum without a result),
+  // not the backoff timer: one retry, completion well under the timeout.
+  EXPECT_EQ(group->client(0).retries(), 1u);
+  EXPECT_LT(group->client(0).last_latency(),
+            group->config().client_retry_timeout);
 }
 
 }  // namespace
