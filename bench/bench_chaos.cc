@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "bench/bench_common.h"
+#include "src/util/log.h"
 #include "src/workload/chaos.h"
 
 using namespace bftbase;
@@ -172,6 +173,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
       repro = argv[++i];
       single = false;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      // Full INFO-level protocol logging — for debugging repro replays.
+      SetLogLevel(LogLevel::kInfo);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed N | --seeds N | --smoke | --repro FILE]\n",

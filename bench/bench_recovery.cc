@@ -1,10 +1,20 @@
 // Experiment E6 — proactive recovery / software rejuvenation (paper
 // §2.2, §3.4): recovery duration vs state size, service availability during
 // staggered rotation, and the window of vulnerability.
+//
+// Experiment E15 — durable restart-from-disk: crash-recovery cost (checkpoint
+// page load + WAL-tail replay) as a function of object count, up to 1M+
+// abstract objects, with the replayed root digest verified against an
+// independently computed expected root. `--wal-smoke` runs the small
+// configuration as a CI gate; results land in BENCH_recovery.json.
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "src/base/kv_adapter.h"
+#include "src/base/replica_service.h"
 #include "src/basefs/basefs_group.h"
 #include "src/basefs/fs_session.h"
+#include "src/sim/storage.h"
 
 using namespace bftbase;
 
@@ -126,12 +136,185 @@ void WindowOfVulnerabilityTable() {
   std::printf("the paper's Andrew run used Tv = 17 min (period ~5.7 min).\n");
 }
 
+// --- E15: durable restart-from-disk ------------------------------------------
+
+constexpr size_t kValueBytes = 64;
+
+// One single-request batch per object, the way the replica logs them.
+void RunDurableBatch(ReplicaService& svc, SeqNum seq, uint32_t slot,
+                     const Bytes& value, bool log) {
+  Bytes nondet = ReplicaService::EncodeNondet(seq * 100);
+  Bytes op = KvAdapter::EncodeSet(slot, value);
+  svc.Execute(op, /*client=*/100, nondet, false);
+  if (log) {
+    svc.LogBatch(seq, BytesView(nondet.data(), nondet.size()),
+                 {ServiceInterface::ExecutedRequest{100, seq, op}});
+  }
+}
+
+// The expected post-recovery root, computed by a twin with no storage.
+Digest ExpectedRoot(size_t objects) {
+  Simulation sim(9100);
+  KvAdapter adapter(&sim, objects);
+  Config config;
+  ReplicaService twin(&sim, config, 1, &adapter);
+  Bytes value(kValueBytes, 0x5a);
+  for (SeqNum seq = 1; seq <= objects; ++seq) {
+    RunDurableBatch(twin, seq, static_cast<uint32_t>(seq - 1), value,
+                    /*log=*/false);
+  }
+  return twin.TakeCheckpoint(objects);
+}
+
+struct DurableCell {
+  bool ok = false;
+  bool verified = false;
+  size_t objects = 0;
+  size_t state_bytes = 0;
+  SeqNum checkpoint_seq = 0;
+  uint64_t tail_batches = 0;
+  uint64_t replayed = 0;
+  uint64_t bytes_read = 0;
+  SimTime load_us = 0;
+  SimTime replay_us = 0;
+};
+
+// Populates N objects through the durable path (one batch per object, a
+// persisted checkpoint before the final `tail` batches), crashes, recovers
+// from disk, and measures the virtual-time recovery cost under an NVMe-class
+// storage cost model.
+DurableCell RunDurableRecovery(size_t objects, uint64_t tail) {
+  CostModel cost;
+  cost.storage_fsync_us = 120;       // NVMe-class sync
+  cost.storage_us_per_byte = 0.001;  // ~1 GB/s sequential
+  Simulation sim(9000, cost);
+  StorageDevice dev(&sim, 0);
+  KvAdapter adapter(&sim, objects);
+  ReplicaService::Options options;
+  options.storage = &dev;
+  Config config;
+  ReplicaService svc(&sim, config, 0, &adapter, options);
+
+  DurableCell cell;
+  cell.objects = objects;
+  cell.state_bytes = objects * kValueBytes;
+  cell.checkpoint_seq = objects - tail;
+  cell.tail_batches = tail;
+
+  Bytes value(kValueBytes, 0x5a);
+  for (SeqNum seq = 1; seq <= objects; ++seq) {
+    RunDurableBatch(svc, seq, static_cast<uint32_t>(seq - 1), value,
+                    /*log=*/true);
+    if (seq == cell.checkpoint_seq) {
+      svc.TakeCheckpoint(seq);  // persists pages, truncates the WAL
+    }
+  }
+
+  svc.OnCrash();
+  uint64_t read_before = dev.bytes_read();
+  auto info = svc.RecoverFromStorage();
+  if (!info.ok || info.checkpoint_seq != cell.checkpoint_seq ||
+      info.last_seq != objects) {
+    return cell;
+  }
+  cell.ok = true;
+  cell.replayed = info.replayed.size();
+  cell.bytes_read = dev.bytes_read() - read_before;
+  cell.load_us = info.load_time_us;
+  cell.replay_us = info.replay_time_us;
+  cell.verified = svc.TakeCheckpoint(objects) == ExpectedRoot(objects);
+  return cell;
+}
+
+// Recovery-time vs object-count table (EXPERIMENTS.md E15) plus the JSON
+// artifact. Returns false if any cell failed or failed verification.
+bool DurableRecoverySweep(bool smoke, const std::string& json_path) {
+  std::printf("\n-- E15: restart-from-disk cost vs object count --\n");
+  std::vector<size_t> sizes;
+  if (smoke) {
+    sizes = {2048, 8192};
+  } else {
+    sizes = {65536, 262144, 1048576};
+  }
+
+  Table table({"objects", "state bytes", "ckpt seq", "tail batches",
+               "load (ms)", "replay (ms)", "total (ms)", "root verified"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "bench_recovery");
+  json.Field("smoke", smoke);
+  json.Field("storage_fsync_us", static_cast<uint64_t>(120));
+  json.Field("storage_us_per_byte", 0.001);
+  json.Key("durable_recovery");
+  json.BeginArray();
+
+  bool all_ok = true;
+  for (size_t objects : sizes) {
+    uint64_t tail = objects / 16 < 4096 ? objects / 16 : 4096;
+    DurableCell cell = RunDurableRecovery(objects, tail);
+    all_ok = all_ok && cell.ok && cell.verified;
+    char load[32], replay[32], total[32];
+    std::snprintf(load, sizeof(load), "%.2f", cell.load_us / 1000.0);
+    std::snprintf(replay, sizeof(replay), "%.2f", cell.replay_us / 1000.0);
+    std::snprintf(total, sizeof(total), "%.2f",
+                  (cell.load_us + cell.replay_us) / 1000.0);
+    table.AddRow({FormatCount(cell.objects), FormatCount(cell.state_bytes),
+                  FormatCount(cell.checkpoint_seq),
+                  FormatCount(cell.tail_batches), load, replay, total,
+                  cell.ok ? (cell.verified ? "yes" : "NO") : "FAILED"});
+    json.BeginObject();
+    json.Field("objects", static_cast<uint64_t>(cell.objects));
+    json.Field("state_bytes", static_cast<uint64_t>(cell.state_bytes));
+    json.Field("checkpoint_seq", static_cast<uint64_t>(cell.checkpoint_seq));
+    json.Field("tail_batches", cell.tail_batches);
+    json.Field("replayed_requests", cell.replayed);
+    json.Field("bytes_read", cell.bytes_read);
+    json.Field("load_ms", cell.load_us / 1000.0);
+    json.Field("replay_ms", cell.replay_us / 1000.0);
+    json.Field("total_ms", (cell.load_us + cell.replay_us) / 1000.0);
+    json.Field("recovered", cell.ok);
+    json.Field("root_verified", cell.verified);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("all_verified", all_ok);
+  json.EndObject();
+  table.Print();
+  std::printf("recovery = durable checkpoint page load + WAL-tail replay; "
+              "the replayed\nroot digest is checked against an independently "
+              "computed expected root.\n");
+  if (!json.WriteFile(json_path)) {
+    std::printf("failed to write %s\n", json_path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_ok;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool wal_smoke = false;
+  std::string json_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal-smoke") == 0) {
+      wal_smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  if (wal_smoke) {
+    // CI gate: the durable restart-from-disk path in its short
+    // configuration; fails if recovery breaks or the root diverges.
+    PrintHeader("E15 (smoke): durable restart-from-disk");
+    return DurableRecoverySweep(/*smoke=*/true, json_path) ? 0 : 1;
+  }
+
   PrintHeader("E6: proactive recovery — duration, availability, Tv");
   RecoveryDurationSweep();
   AvailabilityDuringRotation();
   WindowOfVulnerabilityTable();
-  return 0;
+  bool ok = DurableRecoverySweep(/*smoke=*/false, json_path);
+  return ok ? 0 : 1;
 }

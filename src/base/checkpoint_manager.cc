@@ -85,6 +85,10 @@ Digest CheckpointManager::TakeCheckpoint(SeqNum seq,
     latest_seq_ = seq;
     latest_root_ = root;
     checkpoints_.emplace(seq, std::move(full));
+    last_checkpoint_updates_.clear();
+    for (size_t leaf = 0; leaf < leaf_count_; ++leaf) {
+      last_checkpoint_updates_.push_back(leaf);
+    }
     dirty_.clear();
     return root;
   }
@@ -136,6 +140,7 @@ Digest CheckpointManager::TakeCheckpoint(SeqNum seq,
   checkpoints_.emplace(seq, std::move(checkpoint));
   latest_seq_ = seq;
   latest_root_ = root;
+  last_checkpoint_updates_.assign(dirty_.begin(), dirty_.end());
   dirty_.clear();
   return root;
 }
@@ -243,6 +248,7 @@ Bytes CheckpointManager::InstallFetchedState(
 
   Digest recomputed = tree_.Root();
   tree_.TakeRecomputedNodes();
+  last_install_root_ok_ = recomputed == root;
   if (recomputed != root) {
     // All individual values were digest-verified during the fetch, so a root
     // mismatch means our presumed-matching leaves did not actually match.
@@ -253,6 +259,7 @@ Bytes CheckpointManager::InstallFetchedState(
 
   dirty_.clear();
   new_leaves_.clear();
+  last_checkpoint_updates_.clear();
   checkpoints_.clear();
   Checkpoint checkpoint;
   checkpoint.seq = seq;
@@ -283,6 +290,7 @@ void CheckpointManager::FullResync(SeqNum seq, const Bytes& protocol_state) {
   latest_seq_ = seq;
   dirty_.clear();
   new_leaves_.clear();
+  last_checkpoint_updates_.clear();
   checkpoints_.clear();
   Checkpoint checkpoint;
   checkpoint.seq = seq;

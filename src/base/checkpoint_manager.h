@@ -92,6 +92,21 @@ class CheckpointManager {
   size_t CowBytes() const;
   uint64_t cow_copies_taken() const { return cow_copies_taken_; }
 
+  // Leaves whose digest was recomputed by the most recent TakeCheckpoint —
+  // exactly the leaves whose durable page is stale, so the durable layer
+  // persists these (and only these) per checkpoint.
+  const std::vector<size_t>& last_checkpoint_updates() const {
+    return last_checkpoint_updates_;
+  }
+  // Leaves modified since the latest checkpoint (snapshot for the durable
+  // layer before an install clears the set).
+  std::vector<size_t> DirtyLeaves() const {
+    return std::vector<size_t>(dirty_.begin(), dirty_.end());
+  }
+  // False iff the most recent InstallFetchedState recomputed a root that did
+  // not match the requested one (corrupt local/durable state).
+  bool last_install_root_ok() const { return last_install_root_ok_; }
+
  private:
   struct ObjectCopy {
     Bytes value;
@@ -123,6 +138,8 @@ class CheckpointManager {
   Bytes protocol_state_;  // as of the latest checkpoint
   std::map<SeqNum, Checkpoint> checkpoints_;
   uint64_t cow_copies_taken_ = 0;
+  std::vector<size_t> last_checkpoint_updates_;
+  bool last_install_root_ok_ = true;
 };
 
 }  // namespace bftbase

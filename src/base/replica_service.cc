@@ -1,5 +1,8 @@
 #include "src/base/replica_service.h"
 
+#include <algorithm>
+#include <set>
+
 #include "src/util/codec.h"
 #include "src/util/log.h"
 
@@ -29,6 +32,35 @@ ReplicaService::ReplicaService(Simulation* sim, const Config& config,
       done_fn_(seq, root);
     }
   });
+  if (options_.storage != nullptr) {
+    storage_ = options_.storage;
+    wal_ = std::make_unique<WriteAheadLog>(storage_);
+    // A finished state transfer must also land on disk: persist the fetched
+    // leaves PLUS every leaf dirtied since our last checkpoint (those were
+    // correctly not fetched when the live value already matched the target,
+    // but their durable pages are stale), then cut the WAL back to the
+    // installed sequence number.
+    state_transfer_.SetInstaller([this](SeqNum seq, const Digest& root,
+                                        size_t leaf_count,
+                                        const std::vector<ObjectUpdate>&
+                                            updates) {
+      std::vector<size_t> stale = cm_.DirtyLeaves();
+      cm_.InstallFetchedState(seq, root, leaf_count, updates);
+      std::set<size_t> persist(stale.begin(), stale.end());
+      for (const ObjectUpdate& update : updates) {
+        persist.insert(update.index);
+      }
+      std::vector<size_t> leaves;
+      leaves.reserve(persist.size());
+      for (size_t leaf : persist) {
+        if (leaf < cm_.LeafCount()) {
+          leaves.push_back(leaf);
+        }
+      }
+      PersistCheckpoint(seq, root, leaves);
+      wal_->TruncateThrough(seq);
+    });
+  }
 }
 
 Bytes ReplicaService::EncodeNondet(SimTime time_us) {
@@ -87,7 +119,15 @@ bool ReplicaService::CheckNondet(BytesView nondet) {
 }
 
 Digest ReplicaService::TakeCheckpoint(SeqNum seq) {
-  return cm_.TakeCheckpoint(seq, pending_protocol_state_);
+  Digest root = cm_.TakeCheckpoint(seq, pending_protocol_state_);
+  if (storage_ != nullptr) {
+    // Persist order matters: commit the checkpoint pages first, THEN cut the
+    // WAL. A crash between the two leaves both the checkpoint and the full
+    // log on disk; replay skips records with seq <= the header's.
+    PersistCheckpoint(seq, root, cm_.last_checkpoint_updates());
+    wal_->TruncateThrough(seq);
+  }
+  return root;
 }
 
 void ReplicaService::DiscardCheckpointsBefore(SeqNum seq) {
@@ -109,7 +149,205 @@ void ReplicaService::SetStateSender(StateSenderFn fn) {
       });
 }
 
+void ReplicaService::PersistCheckpoint(SeqNum seq, const Digest& root,
+                                       const std::vector<size_t>& leaves) {
+  for (size_t leaf : leaves) {
+    storage_->StagePut(leaf, cm_.LeafValue(leaf));
+  }
+  Encoder header;
+  header.PutU64(seq);
+  header.PutFixed(root.view());
+  header.PutU64(cm_.LeafCount());
+  header.PutU64(last_agreed_timestamp_);
+  storage_->StageHeader(header.Take());
+  storage_->CommitPages();
+}
+
+void ReplicaService::LogBatch(SeqNum seq, BytesView nondet,
+                              const std::vector<ExecutedRequest>& executed) {
+  if (!wal_) {
+    return;
+  }
+  Encoder payload;
+  payload.PutBytes(nondet);
+  payload.PutU32(static_cast<uint32_t>(executed.size()));
+  for (const ExecutedRequest& request : executed) {
+    payload.PutU64(static_cast<uint64_t>(request.client));
+    payload.PutU64(request.timestamp);
+    payload.PutBytes(BytesView(request.op.data(), request.op.size()));
+  }
+  Bytes body = payload.Take();
+  wal_->Append(WriteAheadLog::kBatch, seq, BytesView(body.data(), body.size()));
+  // Group commit at batch granularity: one sync per agreed batch.
+  wal_->Sync();
+}
+
+void ReplicaService::LogViewMark(ViewNum view) {
+  if (!wal_) {
+    return;
+  }
+  wal_->Append(WriteAheadLog::kViewMark, view, BytesView());
+  wal_->Sync();
+}
+
+void ReplicaService::LogPrepared(SeqNum seq, BytesView cert) {
+  if (!wal_) {
+    return;
+  }
+  wal_->Append(WriteAheadLog::kPrepared, seq, cert);
+  wal_->Sync();
+}
+
+void ReplicaService::LogStableProof(SeqNum seq, BytesView proof) {
+  if (!wal_) {
+    return;
+  }
+  wal_->Append(WriteAheadLog::kStableProof, seq, proof);
+  wal_->Sync();
+}
+
+void ReplicaService::OnCrash() {
+  // Everything volatile on the service side dies with the process; only the
+  // storage device survives (and loses its own unsynced tail).
+  state_transfer_.Abort();
+  state_transfer_.SetServing(true);
+  state_transfer_.SetLocalSource(nullptr);
+  rebuilding_ = false;
+  recovery_disk_.clear();
+  pending_protocol_state_.clear();
+  last_agreed_timestamp_ = 0;
+  if (storage_ != nullptr) {
+    storage_->Crash();
+  }
+}
+
+ServiceInterface::RecoveryInfo ReplicaService::RecoverFromStorage() {
+  RecoveryInfo info;
+  if (storage_ == nullptr) {
+    return info;
+  }
+  SimTime load_start = sim_->CurrentHandlerFinishTime();
+
+  // Restart the concrete service from a clean initial state, then bring the
+  // abstract state to the durable checkpoint through the same install path a
+  // state transfer uses — so the recomputed partition-tree root is checked
+  // against the root digest the group agreed on.
+  adapter_->RestartClean();
+  cm_.FullResync(/*seq=*/0, /*protocol_state=*/Bytes());
+  pending_protocol_state_.clear();
+  last_agreed_timestamp_ = 0;
+
+  Bytes header = storage_->ReadHeader();
+  if (header.empty()) {
+    // Nothing durable yet: a crash before the first checkpoint recovers to
+    // the initial state plus whatever the WAL holds.
+    info.ok = true;
+  } else {
+    Decoder dec(BytesView(header.data(), header.size()));
+    SeqNum seq = dec.GetU64();
+    Digest root = Digest::FromBytes(dec.GetFixed(Digest::kSize));
+    size_t leaf_count = dec.GetU64();
+    uint64_t agreed_ts = dec.GetU64();
+    if (!dec.AtEnd()) {
+      LOG_ERROR << "recovery: corrupt durable checkpoint header";
+      return info;  // ok == false: caller falls back to a full rebuild
+    }
+    info.had_checkpoint = true;
+    info.checkpoint_seq = seq;
+    info.checkpoint_root = root;
+    std::vector<ObjectUpdate> updates;
+    updates.reserve(storage_->pages().size());
+    for (const auto& [key, value] : storage_->pages()) {
+      if (key >= leaf_count) {
+        continue;
+      }
+      updates.push_back(ObjectUpdate{key, storage_->ReadPage(key)});
+    }
+    pending_protocol_state_ =
+        cm_.InstallFetchedState(seq, root, leaf_count, updates);
+    info.ok = cm_.last_install_root_ok();
+    if (!info.ok) {
+      LOG_ERROR << "recovery: durable checkpoint failed root verification";
+      return info;
+    }
+    last_agreed_timestamp_ = agreed_ts;
+    info.last_seq = seq;
+  }
+  SimTime replay_start = sim_->CurrentHandlerFinishTime();
+  info.load_time_us = replay_start - load_start;
+
+  // Replay the WAL tail through the normal execution path. Records at or
+  // below the checkpoint sequence are duplicates a crash-during-truncate (or
+  // a duplicated tail append) left behind; skipping them is what makes
+  // replay idempotent.
+  WriteAheadLog::ScanResult scan = wal_->Recover();
+  info.torn_tail = scan.torn_tail;
+  SeqNum applied = info.checkpoint_seq;
+  ViewNum view = 0;
+  std::map<SeqNum, Bytes> prepared;  // latest certificate per seq wins
+  for (const WriteAheadLog::Record& record : scan.records) {
+    if (record.type == WriteAheadLog::kViewMark) {
+      view = std::max<ViewNum>(view, record.seq);
+      continue;
+    }
+    if (record.type == WriteAheadLog::kPrepared) {
+      prepared[record.seq] = record.payload;
+      continue;
+    }
+    if (record.type == WriteAheadLog::kStableProof) {
+      if (record.seq >= info.stable_proof_seq) {
+        info.stable_proof_seq = record.seq;
+        info.stable_proof = record.payload;
+      }
+      continue;
+    }
+    if (record.type != WriteAheadLog::kBatch) {
+      continue;
+    }
+    if (record.seq <= applied) {
+      ++info.duplicate_records;
+      continue;
+    }
+    Decoder dec(BytesView(record.payload.data(), record.payload.size()));
+    Bytes nondet = dec.GetBytes();
+    uint32_t count = dec.GetU32();
+    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+      NodeId client = static_cast<NodeId>(dec.GetU64());
+      uint64_t timestamp = dec.GetU64();
+      Bytes op = dec.GetBytes();
+      if (!dec.ok()) {
+        break;
+      }
+      Bytes result = Execute(BytesView(op.data(), op.size()), client,
+                             BytesView(nondet.data(), nondet.size()),
+                             /*tentative=*/false);
+      info.replayed.push_back(ReplayedReply{client, timestamp,
+                                            std::move(result)});
+    }
+    applied = record.seq;
+  }
+  info.last_seq = applied;
+  info.view = view;
+  for (auto& [seq, cert] : prepared) {
+    if (seq > info.checkpoint_seq) {
+      info.prepared_certs.emplace_back(seq, std::move(cert));
+    }
+  }
+  info.replay_time_us = sim_->CurrentHandlerFinishTime() - replay_start;
+  LOG_INFO << "replica " << self_ << " recovered from storage: checkpoint seq "
+           << info.checkpoint_seq << ", replayed through seq " << applied
+           << (info.torn_tail ? " (torn tail repaired)" : "") << ", "
+           << info.duplicate_records << " duplicate records skipped";
+  return info;
+}
+
 size_t ReplicaService::SaveForRecovery() {
+  if (storage_ != nullptr) {
+    // Durable mode: the checkpoint pages and WAL are already on disk; the
+    // pre-reboot save is just a final sync of anything buffered.
+    wal_->Sync();
+    return 0;
+  }
   // Save the abstract value of every leaf (protocol blob + objects) to the
   // simulated disk. The digests let the rebuild use the saved copies for
   // every object the group agrees is current, so only divergent objects hit
@@ -131,10 +369,21 @@ size_t ReplicaService::SaveForRecovery() {
 }
 
 void ReplicaService::RestartFromRecovery() {
-  // "It is better to restart the implementation from a clean initial
-  // concrete state and use the abstract state to bring it up-to-date."
+  // A recovery that begins while a state transfer is in flight must not let
+  // the old transfer resume against the rebuilt state: its half-applied
+  // partition set belongs to the pre-reboot incarnation. Drop it before
+  // anything else (Start() is a no-op while a transfer is active, so without
+  // this the recovery's own discovery fetch would be silently ignored).
+  state_transfer_.Abort();
   rebuilding_ = true;
   state_transfer_.SetServing(false);
+  if (storage_ != nullptr) {
+    // Durable mode: reload the on-disk checkpoint and replay the WAL tail
+    // locally; the discovery transfer that follows fetches only the objects
+    // on which we diverge from the group.
+    RecoverFromStorage();
+    return;
+  }
   adapter_->RestartClean();
   cm_.FullResync(/*seq=*/0, /*protocol_state=*/Bytes());
   state_transfer_.SetLocalSource(

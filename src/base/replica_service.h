@@ -14,12 +14,15 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/base/adapter.h"
 #include "src/base/checkpoint_manager.h"
 #include "src/base/state_transfer.h"
+#include "src/base/wal.h"
 #include "src/bft/service.h"
 #include "src/sim/simulation.h"
+#include "src/sim/storage.h"
 
 namespace bftbase {
 
@@ -32,6 +35,11 @@ class ReplicaService : public ServiceInterface {
     // clock when validating non-deterministic input.
     SimTime nondet_tolerance = 500 * kMillisecond;
     StateTransfer::Options state_transfer;
+    // Durable mode: a simulated storage device (owned by the caller, must
+    // outlive the service). When set, executed batches are written to a WAL,
+    // checkpoints are persisted as transactional pages, and the replica can
+    // restart from disk (RecoverFromStorage).
+    StorageDevice* storage = nullptr;
   };
 
   ReplicaService(Simulation* sim, const Config& config, NodeId self,
@@ -61,17 +69,33 @@ class ReplicaService : public ServiceInterface {
   }
   Bytes GetProtocolState() const override { return cm_.protocol_state(); }
 
+  // --- Durable storage -------------------------------------------------------
+  bool HasDurableStorage() const override { return storage_ != nullptr; }
+  void LogBatch(SeqNum seq, BytesView nondet,
+                const std::vector<ExecutedRequest>& executed) override;
+  void LogViewMark(ViewNum view) override;
+  void LogPrepared(SeqNum seq, BytesView cert) override;
+  void LogStableProof(SeqNum seq, BytesView proof) override;
+  void OnCrash() override;
+  RecoveryInfo RecoverFromStorage() override;
+
   // --- Introspection ----------------------------------------------------------
   CheckpointManager& checkpoints() { return cm_; }
   StateTransfer& state_transfer() { return state_transfer_; }
   ServiceAdapter* adapter() { return adapter_; }
   uint64_t last_agreed_timestamp() const { return last_agreed_timestamp_; }
+  WriteAheadLog* wal() { return wal_.get(); }
 
   // Encodes a virtual-time timestamp as a nondet blob (also used by tests).
   static Bytes EncodeNondet(SimTime time_us);
   static std::optional<SimTime> DecodeNondet(BytesView nondet);
 
  private:
+  // Persists the durable checkpoint at (seq, root): stages the given leaves'
+  // checkpoint values plus the header and commits them atomically.
+  void PersistCheckpoint(SeqNum seq, const Digest& root,
+                         const std::vector<size_t>& leaves);
+
   Simulation* sim_;
   Config config_;
   NodeId self_;
@@ -82,6 +106,8 @@ class ReplicaService : public ServiceInterface {
   StateTransferDoneFn done_fn_;
   Bytes pending_protocol_state_;
   uint64_t last_agreed_timestamp_ = 0;
+  StorageDevice* storage_ = nullptr;
+  std::unique_ptr<WriteAheadLog> wal_;
 
   // Proactive-recovery "disk": the abstract state saved before the reboot.
   struct SavedLeaf {

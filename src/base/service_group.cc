@@ -15,9 +15,13 @@ ServiceGroup::ServiceGroup(Params params, AdapterFactory factory)
   replicas_.reserve(n);
   for (NodeId id = 0; id < n; ++id) {
     adapters_.push_back(factory(sim_.get(), id));
+    ReplicaService::Options opts = params_.service;
+    if (params_.durable_storage) {
+      storage_.push_back(std::make_unique<StorageDevice>(sim_.get(), id));
+      opts.storage = storage_.back().get();
+    }
     services_.push_back(std::make_unique<ReplicaService>(
-        sim_.get(), params_.config, id, adapters_.back().get(),
-        params_.service));
+        sim_.get(), params_.config, id, adapters_.back().get(), opts));
     replicas_.push_back(std::make_unique<Replica>(
         sim_.get(), keys_.get(), params_.config, id, services_.back().get()));
   }

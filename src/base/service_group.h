@@ -30,6 +30,10 @@ class ServiceGroup {
     uint64_t seed = 1;
     CostModel cost;
     ReplicaService::Options service;
+    // Durable replica state: gives every replica a simulated storage device
+    // (WAL + checkpoint pages) so crash faults restart from disk instead of
+    // reusing in-memory state.
+    bool durable_storage = false;
   };
 
   // Builds the adapter for replica `id`. Called n() times.
@@ -50,6 +54,12 @@ class ServiceGroup {
   ReplicaService& service(int i) { return *services_[i]; }
   ServiceAdapter* adapter(int i) { return adapters_[i].get(); }
   int replica_count() const { return static_cast<int>(replicas_.size()); }
+  bool durable() const { return params_.durable_storage; }
+  // Replica i's storage device (null unless durable_storage). The device is
+  // owned here, NOT by the replica, so it survives crash/restart cycles.
+  StorageDevice* storage(int i) {
+    return params_.durable_storage ? storage_[i].get() : nullptr;
+  }
 
   // Clients are created on first use; index in [0, config.max_clients).
   Client& client(int i);
@@ -84,6 +94,7 @@ class ServiceGroup {
   Params params_;
   std::unique_ptr<Simulation> sim_;
   std::unique_ptr<KeyTable> keys_;
+  std::vector<std::unique_ptr<StorageDevice>> storage_;
   std::vector<std::unique_ptr<ServiceAdapter>> adapters_;
   std::vector<std::unique_ptr<ReplicaService>> services_;
   std::vector<std::unique_ptr<Replica>> replicas_;

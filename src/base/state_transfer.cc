@@ -206,6 +206,25 @@ void StateTransfer::Start(SeqNum target_seq, const Digest& target_root) {
                              [this] { OnRetryTimer(); });
 }
 
+void StateTransfer::Abort() {
+  active_ = false;
+  discovering_ = false;
+  target_verified_ = false;
+  target_seq_ = 0;
+  target_root_ = Digest();
+  target_leaf_count_ = 0;
+  root_claims_.clear();
+  outstanding_meta_.clear();
+  needed_leaves_.clear();
+  requested_leaves_.clear();
+  data_queue_.clear();
+  fetched_values_.clear();
+  if (retry_timer_ != 0) {
+    sim_->Cancel(retry_timer_);
+    retry_timer_ = 0;
+  }
+}
+
 NodeId StateTransfer::NextSource() {
   for (int i = 0; i < config_.n(); ++i) {
     next_source_ = (next_source_ + 1) % config_.n();
@@ -447,8 +466,12 @@ void StateTransfer::MaybeFinish() {
     updates.push_back(ObjectUpdate{leaf, std::move(value)});
   }
   fetched_values_.clear();
-  cm_->InstallFetchedState(target_seq_, target_root_, target_leaf_count_,
-                           updates);
+  if (installer_) {
+    installer_(target_seq_, target_root_, target_leaf_count_, updates);
+  } else {
+    cm_->InstallFetchedState(target_seq_, target_root_, target_leaf_count_,
+                             updates);
+  }
   LOG_INFO << "state transfer complete: seq " << target_seq_ << ", "
            << leaves_fetched_ << " leaves fetched, " << leaves_from_local_
            << " from local source";

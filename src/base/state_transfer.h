@@ -75,6 +75,21 @@ class StateTransfer {
   void Start(SeqNum target_seq, const Digest& target_root);
   bool active() const { return active_; }
 
+  // Abandons an in-progress transfer: drops every partial fetch and cancels
+  // the retry timer. A crash or recovery restart MUST call this before
+  // starting a new transfer — otherwise Start() is a silent no-op while
+  // active_ and the half-applied partition set from the old target could be
+  // resumed against a different one.
+  void Abort();
+
+  // Optional install hook: when set, MaybeFinish hands the verified updates
+  // to this function instead of calling CheckpointManager::InstallFetchedState
+  // directly. The durable layer uses it to persist the installed checkpoint
+  // (pages + header + WAL truncation) atomically with the install.
+  using InstallFn = std::function<void(SeqNum, const Digest&, size_t,
+                                       const std::vector<ObjectUpdate>&)>;
+  void SetInstaller(InstallFn fn) { installer_ = std::move(fn); }
+
   // Enables/disables answering Fetch* requests (disabled while this
   // replica's own state is mid-rebuild).
   void SetServing(bool serving) { serving_ = serving; }
@@ -130,6 +145,7 @@ class StateTransfer {
   SendFn send_;
   DoneFn done_;
   LocalSourceFn local_source_;
+  InstallFn installer_;
 
   bool serving_ = true;
   bool active_ = false;

@@ -1,0 +1,151 @@
+#include "src/base/wal.h"
+
+#include "src/crypto/digest.h"
+#include "src/util/codec.h"
+
+namespace bftbase {
+
+namespace {
+
+constexpr size_t kPrefixSize = 4 + 8;     // body_len + checksum
+constexpr size_t kMinBodySize = 1 + 8;    // type + seq
+constexpr size_t kMaxBodySize = 1 << 30;  // sanity cap on decoded lengths
+
+uint64_t ChainChecksum(uint64_t prev, BytesView body) {
+  Encoder enc;
+  enc.PutU64(prev);
+  enc.PutFixed(body);
+  Digest digest = Digest::Of(BytesView(enc.data().data(), enc.size()));
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(digest.array()[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+Bytes WriteAheadLog::EncodeRecord(uint64_t prev_checksum, uint8_t type,
+                                  uint64_t seq, BytesView payload,
+                                  uint64_t* checksum_out) {
+  Encoder body;
+  body.PutU8(type);
+  body.PutU64(seq);
+  body.PutFixed(payload);
+  uint64_t checksum =
+      ChainChecksum(prev_checksum, BytesView(body.data().data(), body.size()));
+  Encoder record;
+  record.PutU32(static_cast<uint32_t>(body.size()));
+  record.PutU64(checksum);
+  record.PutFixed(BytesView(body.data().data(), body.size()));
+  *checksum_out = checksum;
+  return record.Take();
+}
+
+void WriteAheadLog::Append(uint8_t type, uint64_t seq, BytesView payload) {
+  uint64_t checksum = 0;
+  Bytes record = EncodeRecord(chain_, type, seq, payload, &checksum);
+  storage_->LogAppend(BytesView(record.data(), record.size()));
+  chain_ = checksum;
+  ++records_appended_;
+}
+
+void WriteAheadLog::Sync() { storage_->LogSync(); }
+
+WriteAheadLog::ScanResult WriteAheadLog::Decode(BytesView log_bytes) {
+  ScanResult result;
+  size_t pos = 0;
+  uint64_t chain = 0;
+  while (pos < log_bytes.size()) {
+    if (log_bytes.size() - pos < kPrefixSize) {
+      result.torn_tail = true;
+      break;
+    }
+    Decoder prefix(log_bytes.subspan(pos, kPrefixSize));
+    size_t body_len = prefix.GetU32();
+    uint64_t checksum = prefix.GetU64();
+    if (body_len < kMinBodySize || body_len > kMaxBodySize ||
+        log_bytes.size() - pos - kPrefixSize < body_len) {
+      result.torn_tail = true;
+      break;
+    }
+    BytesView body = log_bytes.subspan(pos + kPrefixSize, body_len);
+    if (ChainChecksum(chain, body) != checksum) {
+      result.torn_tail = true;
+      break;
+    }
+    Decoder dec(body);
+    Record record;
+    record.type = dec.GetU8();
+    record.seq = dec.GetU64();
+    record.payload = dec.GetFixed(body_len - kMinBodySize);
+    result.records.push_back(std::move(record));
+    chain = checksum;
+    pos += kPrefixSize + body_len;
+  }
+  result.valid_bytes = pos;
+  result.dropped_bytes = log_bytes.size() - pos;
+  result.tail_checksum = chain;
+  return result;
+}
+
+WriteAheadLog::ScanResult WriteAheadLog::Recover() {
+  Bytes log = storage_->ReadLog();
+  ScanResult result = Decode(BytesView(log.data(), log.size()));
+  if (result.dropped_bytes > 0) {
+    // Cut the torn/corrupt suffix off the file so future appends extend a
+    // clean log instead of being shadowed by garbage.
+    log.resize(result.valid_bytes);
+    storage_->LogRewrite(std::move(log));
+  }
+  chain_ = result.tail_checksum;
+  return result;
+}
+
+void WriteAheadLog::TruncateThrough(SeqNum checkpoint_seq) {
+  Bytes log = storage_->ReadLog();
+  ScanResult scan = Decode(BytesView(log.data(), log.size()));
+
+  // Keep only what recovery still needs: the latest installed view, the
+  // latest stable-checkpoint proof, and the batches plus prepared
+  // certificates past the durable checkpoint.
+  const Record* latest_view = nullptr;
+  const Record* latest_proof = nullptr;
+  for (const Record& record : scan.records) {
+    if (record.type == kViewMark &&
+        (latest_view == nullptr || record.seq >= latest_view->seq)) {
+      latest_view = &record;
+    }
+    if (record.type == kStableProof &&
+        (latest_proof == nullptr || record.seq >= latest_proof->seq)) {
+      latest_proof = &record;
+    }
+  }
+
+  Bytes rewritten;
+  uint64_t chain = 0;
+  auto append = [&rewritten, &chain](const Record& record) {
+    uint64_t checksum = 0;
+    Bytes encoded = EncodeRecord(
+        chain, record.type, record.seq,
+        BytesView(record.payload.data(), record.payload.size()), &checksum);
+    rewritten.insert(rewritten.end(), encoded.begin(), encoded.end());
+    chain = checksum;
+  };
+  if (latest_view != nullptr) {
+    append(*latest_view);
+  }
+  if (latest_proof != nullptr) {
+    append(*latest_proof);
+  }
+  for (const Record& record : scan.records) {
+    if ((record.type == kBatch || record.type == kPrepared) &&
+        record.seq > checkpoint_seq) {
+      append(record);
+    }
+  }
+  storage_->LogRewrite(std::move(rewritten));
+  chain_ = chain;
+}
+
+}  // namespace bftbase

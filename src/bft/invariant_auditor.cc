@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/util/log.h"
+
 namespace bftbase {
 
 namespace {
@@ -29,6 +31,7 @@ void InvariantAuditor::MarkFaulty(NodeId replica) { faulty_.insert(replica); }
 
 void InvariantAuditor::AddViolation(std::string message) {
   ++violation_count_;
+  LOG_INFO << "invariant violation: " << message;
   if (violations_.size() < kMaxStoredViolations) {
     violations_.push_back(std::move(message));
   }

@@ -98,6 +98,9 @@ void Replica::OnNullRequestTimer() {
 }
 
 void Replica::OnMessage(NodeId /*from*/, const Bytes& wire) {
+  if (crashed_) {
+    return;  // powered off: nothing is received, nothing survives
+  }
   if (mute_) {
     return;
   }
@@ -413,6 +416,10 @@ void Replica::TryPrepared(SeqNum seq) {
     observer_->OnPrepared(id_, entry.view, seq, entry.digest);
   }
 
+  // Retain the certificate (and in durable mode persist it) BEFORE the
+  // COMMIT below announces the promise.
+  RecordPreparedCert(seq, entry);
+
   CommitMsg commit;
   commit.view = entry.view;
   commit.seq = seq;
@@ -423,6 +430,42 @@ void Replica::TryPrepared(SeqNum seq) {
   entry.commit_pool[id_] = entry.digest;
   channel_.MulticastReplicas(wire, /*include_self=*/false);
   TryCommitted(seq);
+}
+
+void Replica::RecordPreparedCert(SeqNum seq, const LogEntry& entry,
+                                 bool persist) {
+  if (entry.pre_prepare_wire.empty()) {
+    return;
+  }
+  PreparedCert& cert = prepared_certs_[seq];
+  if (cert.view > entry.view && !cert.prepare_wires.empty()) {
+    return;  // a higher-view certificate already covers this seq
+  }
+  cert.view = entry.view;
+  cert.digest = entry.digest;
+  cert.pre_prepare_wire = entry.pre_prepare_wire;
+  cert.prepare_wires.clear();
+  for (const auto& [node, vote] : entry.prepare_pool) {
+    if (vote.digest == entry.digest && !vote.wire.empty()) {
+      cert.prepare_wires.push_back(vote.wire);
+    }
+  }
+  // Durable promise: the certificate must hit disk before the COMMIT that
+  // announces it. A crash may otherwise forget the promise, and two
+  // overlapping crash-restarts can erase a committed batch's certificate
+  // from every view-change quorum — the next NEW-VIEW would re-propose a
+  // different batch at this sequence number.
+  if (persist && service_->HasDurableStorage()) {
+    Encoder enc;
+    enc.PutBytes(BytesView(cert.pre_prepare_wire.data(),
+                           cert.pre_prepare_wire.size()));
+    enc.PutU32(static_cast<uint32_t>(cert.prepare_wires.size()));
+    for (const Bytes& wire : cert.prepare_wires) {
+      enc.PutBytes(BytesView(wire.data(), wire.size()));
+    }
+    Bytes blob = enc.Take();
+    service_->LogPrepared(seq, BytesView(blob.data(), blob.size()));
+  }
 }
 
 void Replica::TryCommitted(SeqNum seq) {
@@ -458,6 +501,8 @@ void Replica::ExecuteReady() {
 void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
   assert(entry.pre_prepare.has_value());
   const PrePrepareMsg& pp = *entry.pre_prepare;
+  const bool durable = service_->HasDurableStorage();
+  std::vector<ServiceInterface::ExecutedRequest> executed_requests;
   for (const Bytes& req_wire : pp.requests) {
     // Envelopes were authenticated when the pre-prepare was accepted.
     auto req_env = Channel::ParseUnverified(req_wire);
@@ -476,6 +521,10 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
     Bytes result = service_->Execute(request->op, request->client, pp.nondet,
                                      /*tentative=*/false);
     last_executed_timestamp_[request->client] = request->timestamp;
+    if (durable) {
+      executed_requests.push_back(ServiceInterface::ExecutedRequest{
+          request->client, request->timestamp, request->op});
+    }
     sim_->metrics().Inc(kRequestsExecuted, id_);
     SendReply(*request, std::move(result), /*tentative=*/false);
     // Hot path: backups usually have no pending entry for this request (only
@@ -484,6 +533,12 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
     if (!pending_requests_.empty()) {
       pending_requests_.erase(request->ComputeDigest());
     }
+  }
+  if (durable) {
+    // Every agreed batch is logged — including null/empty ones — so the
+    // WAL's sequence tracking stays aligned with the protocol's.
+    service_->LogBatch(seq, BytesView(pp.nondet.data(), pp.nondet.size()),
+                       executed_requests);
   }
   entry.executed = true;
   last_executed_ = seq;
@@ -715,8 +770,23 @@ void Replica::AdoptStableCheckpoint(SeqNum seq, const Digest& digest,
     stable_proof_ = std::move(proof);
     proofed_stable_seq_ = seq;
     proofed_stable_digest_ = digest;
+    if (service_->HasDurableStorage()) {
+      // Persist the proof: a restarted replica needs it to include prepared
+      // entries above this checkpoint in its VIEW-CHANGE messages (entries
+      // beyond the provable window are dropped as unprovable).
+      Encoder enc;
+      enc.PutFixed(digest.view());
+      enc.PutU32(static_cast<uint32_t>(stable_proof_.size()));
+      for (const Bytes& wire : stable_proof_) {
+        enc.PutBytes(BytesView(wire.data(), wire.size()));
+      }
+      Bytes blob = enc.Take();
+      service_->LogStableProof(seq, BytesView(blob.data(), blob.size()));
+    }
   }
   log_.TruncateBelow(seq);
+  prepared_certs_.erase(prepared_certs_.begin(),
+                        prepared_certs_.upper_bound(seq));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(seq + 1));
   service_->DiscardCheckpointsBefore(seq);
@@ -796,7 +866,7 @@ void Replica::EnableProactiveRecovery(SimTime period, SimTime initial_delay) {
 }
 
 void Replica::StartProactiveRecovery() {
-  if (recovering_) {
+  if (recovering_ || crashed_) {
     return;
   }
   LOG_INFO << "replica " << id_ << " proactive recovery: saving and rebooting";
@@ -814,9 +884,16 @@ void Replica::StartProactiveRecovery() {
   // unresponsive in between (handled by the recovering_ gate in OnMessage).
   service_->SetProtocolState(EncodeReplyCache());
   size_t saved_bytes = service_->SaveForRecovery();
-  SimTime down_time = sim_->cost().DiskWriteCost(saved_bytes) +
-                      sim_->cost().reboot_us;
-  sim_->After(id_, down_time, [this] {
+  // With durable storage the state is already on disk; the save is just a
+  // final sync. Otherwise the whole abstract state is written synchronously.
+  SimTime down_time =
+      service_->HasDurableStorage()
+          ? sim_->cost().storage_fsync_us + sim_->cost().reboot_us
+          : sim_->cost().DiskWriteCost(saved_bytes) + sim_->cost().reboot_us;
+  sim_->After(id_, down_time, [this, inc = incarnation_] {
+    if (inc != incarnation_ || crashed_) {
+      return;  // a crash intervened; restart-from-disk superseded this reboot
+    }
     // Restarted: fresh session keys, clean concrete state, then rebuild the
     // abstract state from the saved copy plus fetches from the group.
     keys_->RefreshKeysFor(id_);
@@ -843,12 +920,182 @@ void Replica::FinishProactiveRecovery(SeqNum seq, const Digest& digest) {
   if (next_seq_ <= seq) {
     next_seq_ = seq + 1;
   }
+  // NOTHING volatile survives the reboot: the reply cache and execute-once
+  // timestamps come only from the recovered protocol-state blob (note that
+  // DecodeReplyCache keeps its current maps when the blob is empty — which
+  // is exactly right for retransmissions, but poison if the maps still hold
+  // pre-reboot entries), and in-flight vote tallies, view-change state and
+  // stashed messages from the pre-reboot incarnation are discarded — they
+  // were collected by a process this reboot just declared untrusted.
+  reply_cache_.clear();
+  last_executed_timestamp_.clear();
+  checkpoint_votes_.clear();
+  view_change_votes_.clear();
+  new_view_sent_.clear();
+  stashed_wires_.clear();
+  in_view_change_ = false;
+  DisarmViewChangeTimer();
+  view_change_timeout_ = config_.view_change_timeout;
   DecodeReplyCache(service_->GetProtocolState());
   log_.Clear();
+  prepared_certs_.clear();
   pending_requests_.clear();
   if (seq > 0 && seq % config_.checkpoint_interval == 0) {
     BroadcastCheckpointVote(seq, digest);
   }
+}
+
+// --------------------------------------------------- crash / restart-from-disk
+
+void Replica::Crash() {
+  LOG_INFO << "replica " << id_ << " crashed";
+  ++incarnation_;
+  crashed_ = true;
+  recovering_ = false;
+  fetching_state_ = false;
+  in_view_change_ = false;
+  if (null_request_timer_ != 0) {
+    sim_->Cancel(null_request_timer_);
+    null_request_timer_ = 0;
+  }
+  DisarmViewChangeTimer();
+  // All volatile protocol state dies with the process.
+  view_ = 0;
+  next_seq_ = 1;
+  last_executed_ = 0;
+  stable_seq_ = 0;
+  stable_digest_ = Digest();
+  proofed_stable_seq_ = 0;
+  proofed_stable_digest_ = Digest();
+  stable_proof_.clear();
+  log_.Clear();
+  prepared_certs_.clear();
+  pending_requests_.clear();
+  reply_cache_.clear();
+  last_executed_timestamp_.clear();
+  checkpoint_votes_.clear();
+  view_change_votes_.clear();
+  new_view_sent_.clear();
+  stashed_wires_.clear();
+  view_change_timeout_ = config_.view_change_timeout;
+  null_timer_marker_ = 0;
+  service_->OnCrash();
+}
+
+void Replica::RestartFromStorage() {
+  if (!crashed_) {
+    return;
+  }
+  crashed_ = false;
+  keys_->RefreshKeysFor(id_);
+  ServiceInterface::RecoveryInfo info = service_->RecoverFromStorage();
+  if (!info.ok) {
+    // No durable storage, or the durable state failed digest verification:
+    // rebuild everything from the group, exactly like proactive recovery.
+    LOG_WARN << "replica " << id_
+             << ": restart-from-disk unavailable, rebuilding from the group";
+    recovering_ = true;
+    recovery_started_at_ = sim_->Now();
+    sim_->trace().Record(TraceEvent::kRecoveryStart, sim_->Now(), id_, -1, 0,
+                         0);
+    if (observer_ != nullptr) {
+      observer_->OnRecoveryStart(id_);
+    }
+    service_->RestartFromRecovery();
+    service_->StartStateTransfer(0, Digest());  // 0 = discover latest
+    ArmNullRequestTimer();
+    return;
+  }
+  view_ = info.view;
+  last_executed_ = info.last_seq;
+  next_seq_ = info.last_seq + 1;
+  stable_seq_ = info.checkpoint_seq;
+  stable_digest_ = info.checkpoint_root;
+  // Stable-checkpoint proof: restore it so our VIEW-CHANGE messages can
+  // prove the window above the checkpoint.
+  if (info.stable_proof_seq > 0 && !info.stable_proof.empty()) {
+    Decoder dec(BytesView(info.stable_proof.data(), info.stable_proof.size()));
+    Digest proof_digest = Digest::FromBytes(dec.GetFixed(Digest::kSize));
+    uint32_t count = dec.GetU32();
+    std::vector<Bytes> proof;
+    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+      proof.push_back(dec.GetBytes());
+    }
+    if (dec.ok() && proof.size() >= static_cast<size_t>(config_.quorum())) {
+      proofed_stable_seq_ = info.stable_proof_seq;
+      proofed_stable_digest_ = proof_digest;
+      stable_proof_ = std::move(proof);
+    }
+  }
+  // Prepared certificates: re-install the durable promises into the message
+  // log. Without this, the prepare this replica contributed before the crash
+  // vanishes from view-change quorums, and overlapping crashes could let a
+  // NEW-VIEW re-propose a different batch at a committed sequence number.
+  for (const auto& [seq, cert] : info.prepared_certs) {
+    if (seq <= stable_seq_ || seq > stable_seq_ + config_.log_window) {
+      continue;
+    }
+    Decoder dec(BytesView(cert.data(), cert.size()));
+    Bytes pp_wire = dec.GetBytes();
+    uint32_t count = dec.GetU32();
+    if (!dec.ok()) {
+      continue;
+    }
+    auto pp_env = Channel::ParseUnverified(pp_wire);
+    if (!pp_env.ok()) {
+      continue;
+    }
+    auto pp = PrePrepareMsg::Decode(pp_env->payload);
+    if (!pp.ok() || pp->seq != seq) {
+      continue;
+    }
+    LogEntry& entry = log_.Get(seq);
+    entry.view = pp->view;
+    entry.digest = pp->ComputeDigest();
+    entry.pre_prepare_wire = pp_wire;
+    entry.pre_prepare = std::move(*pp);
+    entry.prepare_pool.clear();
+    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+      Bytes p_wire = dec.GetBytes();
+      if (!dec.ok()) {
+        break;
+      }
+      auto p_env = Channel::ParseUnverified(p_wire);
+      if (!p_env.ok()) {
+        continue;
+      }
+      auto prepare = PrepareMsg::Decode(p_env->payload);
+      if (!prepare.ok()) {
+        continue;
+      }
+      entry.prepare_pool[prepare->replica] =
+          LogEntry::Vote{prepare->digest, p_wire};
+    }
+    entry.prepared = true;
+    entry.committed = seq <= last_executed_;
+    entry.executed = seq <= last_executed_;
+    // Re-install into the retained certificate set without re-appending to
+    // the WAL (the record we just replayed already covers it).
+    RecordPreparedCert(seq, entry, /*persist=*/false);
+  }
+  // Reply cache: the durable checkpoint's blob first (Crash() cleared the
+  // maps, so an empty blob cannot leave stale entries), then the replies the
+  // WAL replay regenerated, in execution order.
+  DecodeReplyCache(service_->GetProtocolState());
+  for (ServiceInterface::ReplayedReply& reply : info.replayed) {
+    last_executed_timestamp_[reply.client] = reply.timestamp;
+    reply_cache_[reply.client] =
+        CachedReply{reply.timestamp, std::move(reply.result)};
+  }
+  LOG_INFO << "replica " << id_ << " restarted from storage at seq "
+           << last_executed_ << " (checkpoint " << stable_seq_ << ", view "
+           << view_ << ")";
+  sim_->trace().Record(TraceEvent::kRecoveryDone, sim_->Now(), id_, -1,
+                       last_executed_, 0, stable_digest_.view());
+  if (observer_ != nullptr) {
+    observer_->OnRecoveryDone(id_, last_executed_);
+  }
+  ArmNullRequestTimer();
 }
 
 }  // namespace bftbase

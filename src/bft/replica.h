@@ -43,6 +43,20 @@ class Replica : public SimNode {
   uint64_t recoveries_completed() const { return recoveries_completed_; }
   SimTime last_recovery_duration() const { return last_recovery_duration_; }
 
+  // --- Crash / restart-from-disk --------------------------------------------
+
+  // Power loss: every piece of volatile protocol state is discarded (view,
+  // log, reply cache, vote tallies, stashed messages, timers) and the crash
+  // propagates to the service (which loses its unsynced WAL tail). The
+  // replica object stays registered but drops all traffic until restarted.
+  void Crash();
+  // Restart after a crash: reload the durable checkpoint, replay the WAL
+  // tail through the service, and rebuild the reply cache from the replayed
+  // results. Falls back to a full group rebuild (the proactive-recovery
+  // path) when the durable state fails verification or there is no storage.
+  void RestartFromStorage();
+  bool crashed() const { return crashed_; }
+
   // --- Introspection --------------------------------------------------------
   NodeId id() const { return id_; }
   ViewNum view() const { return view_; }
@@ -63,6 +77,8 @@ class Replica : public SimNode {
   SimTime current_view_change_timeout() const { return view_change_timeout_; }
   const Config& config() const { return config_; }
   ServiceInterface* service() { return service_; }
+  // Reply-cache size (regression tests for volatile state across restarts).
+  size_t reply_cache_size() const { return reply_cache_.size(); }
 
   // Registers an observer for protocol transitions (see observer.h). One
   // observer per replica; pass nullptr to detach. Not owned.
@@ -183,6 +199,25 @@ class Replica : public SimNode {
   std::vector<Bytes> stable_proof_;  // 2f+1 signed CHECKPOINT envelopes
   MessageLog log_;
 
+  // Prepared certificates retained across view changes, highest view wins
+  // (PBFT's P set). The per-view message log is cleared when a new view is
+  // installed, but the promises it held must keep flowing into VIEW-CHANGE
+  // messages until the stable checkpoint passes them — dropping them lets a
+  // cascade of view changes re-propose a null batch at a sequence number
+  // the group already executed. In durable mode this map is exactly what
+  // the WAL's kPrepared records persist and restore.
+  struct PreparedCert {
+    ViewNum view = 0;
+    Digest digest;
+    Bytes pre_prepare_wire;
+    std::vector<Bytes> prepare_wires;
+  };
+  std::map<SeqNum, PreparedCert> prepared_certs_;
+  // Records (and in durable mode persists) the certificate proving `entry`
+  // prepared; called at the prepared transition, before the COMMIT is sent.
+  void RecordPreparedCert(SeqNum seq, const LogEntry& entry,
+                          bool persist = true);
+
   // Pending client requests (primary batches them; backups use them to
   // detect a faulty primary). Keyed by request digest for dedup.
   struct PendingRequest {
@@ -220,6 +255,11 @@ class Replica : public SimNode {
   // State-transfer / recovery state.
   bool fetching_state_ = false;
   bool recovering_ = false;
+  bool crashed_ = false;
+  // Bumped on every Crash(): lets pending timers from a previous incarnation
+  // (e.g. a proactive-recovery reboot scheduled before the crash) detect
+  // they are stale and do nothing.
+  uint64_t incarnation_ = 0;
   SimTime recovery_started_at_ = 0;
   SimTime last_recovery_duration_ = 0;
   uint64_t recoveries_completed_ = 0;

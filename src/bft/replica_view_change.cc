@@ -62,32 +62,28 @@ void Replica::StartViewChange(ViewNum target_view) {
   vc.stable_digest = proofed_stable_digest_;
   vc.checkpoint_proof = stable_proof_;
   vc.replica = id_;
-  // P: prepared certificates above the stable checkpoint. Only entries
-  // inside the window provable from vc.stable_seq may be included — after a
-  // proactive recovery the provable stable checkpoint can lag the actual one
-  // until the next checkpoint gathers fresh signatures, and entries beyond
-  // the provable window would make the whole VIEW-CHANGE invalid.
-  for (const auto& [seq, entry] : log_.entries()) {
+  // P: prepared certificates above the stable checkpoint, drawn from the
+  // retained certificate set — NOT the per-view message log, which is
+  // cleared on every NEW-VIEW. A certificate gathered in view v is a promise
+  // that must keep flowing into VIEW-CHANGE messages for every later view
+  // until a stable checkpoint covers it; rebuilding P from the current
+  // view's log drops those promises under message loss and lets a cascaded
+  // view change repropose null at a committed sequence number.
+  // Only entries inside the window provable from vc.stable_seq may be
+  // included — after a proactive recovery the provable stable checkpoint can
+  // lag the actual one until the next checkpoint gathers fresh signatures,
+  // and entries beyond the provable window would make the whole VIEW-CHANGE
+  // invalid.
+  for (const auto& [seq, cert] : prepared_certs_) {
     if (seq <= vc.stable_seq || seq > vc.stable_seq + config_.log_window ||
-        !entry.prepared || !entry.pre_prepare.has_value() ||
-        entry.pre_prepare_wire.empty()) {
-      continue;
+        cert.pre_prepare_wire.empty() ||
+        cert.prepare_wires.size() <
+            static_cast<size_t>(config_.prepared_quorum())) {
+      continue;  // outside the provable window or incomplete certificate
     }
     PreparedProof proof;
-    proof.pre_prepare_wire = entry.pre_prepare_wire;
-    for (const auto& [node, vote] : entry.prepare_pool) {
-      if (vote.digest == entry.digest && !vote.wire.empty()) {
-        proof.prepare_wires.push_back(vote.wire);
-        if (proof.prepare_wires.size() >=
-            static_cast<size_t>(config_.prepared_quorum())) {
-          break;
-        }
-      }
-    }
-    if (proof.prepare_wires.size() <
-        static_cast<size_t>(config_.prepared_quorum())) {
-      continue;  // incomplete certificate; cannot prove it
-    }
+    proof.pre_prepare_wire = cert.pre_prepare_wire;
+    proof.prepare_wires = cert.prepare_wires;
     vc.prepared.push_back(std::move(proof));
   }
 
@@ -390,6 +386,9 @@ void Replica::EnterNewView(ViewNum target_view, const NewViewPlan& plan,
   LOG_INFO << "replica " << id_ << " enters view " << target_view;
   view_ = target_view;
   in_view_change_ = false;
+  // A durable view mark: a replica restarting from disk must not come back
+  // in an older view than the one it operated in.
+  service_->LogViewMark(target_view);
   sim_->trace().Record(TraceEvent::kNewView, sim_->Now(), id_, -1,
                        target_view, 0);
   if (observer_ != nullptr) {

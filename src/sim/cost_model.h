@@ -13,6 +13,7 @@
 #ifndef SRC_SIM_COST_MODEL_H_
 #define SRC_SIM_COST_MODEL_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace bftbase {
@@ -41,6 +42,14 @@ struct CostModel {
   double disk_us_per_byte = 0.03;      // ~30 MB/s sequential
   SimTime reboot_us = 30 * kSecond;    // OS reboot during proactive recovery
 
+  // Simulated durable-storage device (src/sim/storage.h): WAL appends,
+  // explicit fsync points and checkpoint-page commits. Both default to zero
+  // so that fault-free traces are byte-identical with the WAL enabled or
+  // disabled (the kernel-witness pin); benches that measure recovery set
+  // era-appropriate values.
+  SimTime storage_fsync_us = 0;        // per explicit sync point
+  double storage_us_per_byte = 0.0;    // sequential read/write throughput
+
   SimTime MessageLatency(size_t bytes) const {
     return wire_latency_us +
            static_cast<SimTime>(static_cast<double>(bytes) * wire_us_per_byte) +
@@ -59,6 +68,11 @@ struct CostModel {
   SimTime DiskWriteCost(size_t bytes) const {
     return disk_sync_write_us +
            static_cast<SimTime>(static_cast<double>(bytes) * disk_us_per_byte);
+  }
+
+  SimTime StorageByteCost(size_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) *
+                                storage_us_per_byte);
   }
 };
 

@@ -1,0 +1,135 @@
+#include "src/sim/storage.h"
+
+#include <algorithm>
+
+#include "src/util/log.h"
+
+namespace bftbase {
+
+void StorageDevice::ChargeWrite(size_t bytes) {
+  bytes_written_ += bytes;
+  sim_->ChargeCpu(sim_->cost().StorageByteCost(bytes));
+}
+
+void StorageDevice::ChargeRead(size_t bytes) {
+  bytes_read_ += bytes;
+  sim_->ChargeCpu(sim_->cost().StorageByteCost(bytes));
+}
+
+void StorageDevice::ChargeSync() {
+  ++syncs_;
+  sim_->ChargeCpu(sim_->cost().storage_fsync_us);
+}
+
+void StorageDevice::LogAppend(BytesView record) {
+  last_append_offset_ = log_.size();
+  last_append_size_ = record.size();
+  Append(log_, record);
+  ChargeWrite(record.size());
+}
+
+void StorageDevice::LogSync() {
+  durable_log_size_ = log_.size();
+  ChargeSync();
+}
+
+void StorageDevice::LogRewrite(Bytes contents) {
+  ChargeWrite(contents.size());
+  log_ = std::move(contents);
+  durable_log_size_ = log_.size();
+  last_append_offset_ = log_.size();
+  last_append_size_ = 0;
+  ChargeSync();
+}
+
+Bytes StorageDevice::ReadLog() {
+  ChargeRead(log_.size());
+  return log_;
+}
+
+void StorageDevice::StagePut(uint64_t key, Bytes value) {
+  staged_pages_[key] = std::move(value);
+}
+
+void StorageDevice::StageHeader(Bytes header) {
+  staged_header_ = std::move(header);
+  header_staged_ = true;
+}
+
+void StorageDevice::CommitPages() {
+  size_t staged_bytes = 0;
+  for (auto& [key, value] : staged_pages_) {
+    staged_bytes += value.size();
+    pages_[key] = std::move(value);
+  }
+  if (header_staged_) {
+    staged_bytes += staged_header_.size();
+    header_ = std::move(staged_header_);
+  }
+  staged_pages_.clear();
+  staged_header_.clear();
+  header_staged_ = false;
+  ++commits_;
+  ChargeWrite(staged_bytes);
+  ChargeSync();
+}
+
+Bytes StorageDevice::ReadHeader() {
+  ChargeRead(header_.size());
+  return header_;
+}
+
+Bytes StorageDevice::ReadPage(uint64_t key) {
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    return Bytes();
+  }
+  ChargeRead(it->second.size());
+  return it->second;
+}
+
+size_t StorageDevice::page_bytes() const {
+  size_t total = header_.size();
+  for (const auto& [key, value] : pages_) {
+    total += value.size();
+  }
+  return total;
+}
+
+void StorageDevice::Crash() {
+  ++crashes_;
+  // Unsynced writes are gone.
+  log_.resize(durable_log_size_);
+  staged_pages_.clear();
+  staged_header_.clear();
+  header_staged_ = false;
+
+  if (duplicate_tail_) {
+    duplicate_tail_ = false;
+    // Re-append the most recent append if it survived in full (a writer that
+    // never saw the ack retries the whole record).
+    if (last_append_size_ > 0 &&
+        last_append_offset_ + last_append_size_ <= log_.size()) {
+      Bytes copy(log_.begin() + static_cast<ptrdiff_t>(last_append_offset_),
+                 log_.begin() + static_cast<ptrdiff_t>(last_append_offset_ +
+                                                       last_append_size_));
+      Append(log_, BytesView(copy.data(), copy.size()));
+      durable_log_size_ = log_.size();
+      LOG_DEBUG << "storage " << owner_ << ": duplicated final record ("
+                << copy.size() << " bytes) at crash";
+    }
+  }
+  if (torn_tail_bytes_ > 0) {
+    size_t chop = std::min<size_t>(torn_tail_bytes_, log_.size());
+    log_.resize(log_.size() - chop);
+    durable_log_size_ = log_.size();
+    torn_tail_bytes_ = 0;
+    LOG_DEBUG << "storage " << owner_ << ": tore " << chop
+              << " bytes off the log tail at crash";
+  }
+  durable_log_size_ = std::min(durable_log_size_, log_.size());
+  last_append_offset_ = log_.size();
+  last_append_size_ = 0;
+}
+
+}  // namespace bftbase

@@ -1,0 +1,129 @@
+// Simulated durable-storage device (one per replica).
+//
+// Models the two durability primitives the recovery path needs, with
+// deterministic virtual-time costs from the CostModel:
+//
+//  - An append-only log file with explicit fsync points: LogAppend buffers,
+//    LogSync makes everything appended so far crash-durable. On Crash() the
+//    unsynced tail is lost; fault hooks additionally shape the surviving
+//    tail (torn final record / duplicated final record) so recovery code can
+//    be exercised against crash-mid-append damage.
+//
+//  - A transactional page store for checkpoints: StagePut/StageHeader buffer
+//    writes that CommitPages() applies atomically (modeling the classic
+//    write-new-then-rename/double-buffer discipline), so a crash never
+//    exposes a half-written checkpoint.
+//
+// The device deliberately survives the replica object's crash/restart cycle:
+// it is owned by the ServiceGroup (or the test), not by the replica, which is
+// what makes "restart from disk" mean something in the simulation.
+//
+// All costs default to zero (CostModel::storage_*), so enabling the device
+// does not perturb fault-free traces; recovery benches dial in real values.
+#ifndef SRC_SIM_STORAGE_H_
+#define SRC_SIM_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/sim/simulation.h"
+#include "src/util/bytes.h"
+
+namespace bftbase {
+
+class StorageDevice {
+ public:
+  StorageDevice(Simulation* sim, NodeId owner) : sim_(sim), owner_(owner) {}
+
+  StorageDevice(const StorageDevice&) = delete;
+  StorageDevice& operator=(const StorageDevice&) = delete;
+
+  // --- Append-only log file --------------------------------------------------
+
+  // Buffers `record` at the end of the log (not yet durable).
+  void LogAppend(BytesView record);
+  // Makes everything appended so far durable.
+  void LogSync();
+  // Atomically replaces the log contents (truncate-at-checkpoint rewrites the
+  // suffix into a fresh file and renames it over the old one); durable on
+  // return.
+  void LogRewrite(Bytes contents);
+  // Reads the whole log back (recovery); charges the read cost.
+  Bytes ReadLog();
+
+  size_t log_size() const { return log_.size(); }
+  size_t durable_log_size() const { return durable_log_size_; }
+
+  // --- Transactional page store ----------------------------------------------
+
+  void StagePut(uint64_t key, Bytes value);
+  void StageHeader(Bytes header);
+  // Applies every staged write atomically and makes the result durable.
+  void CommitPages();
+
+  const std::map<uint64_t, Bytes>& pages() const { return pages_; }
+  // Reads the committed header (recovery); empty when no checkpoint was ever
+  // committed. Charges the read cost.
+  Bytes ReadHeader();
+  // Reads one committed page (recovery); charges the read cost.
+  Bytes ReadPage(uint64_t key);
+
+  // --- Crash -----------------------------------------------------------------
+
+  // Power loss: the unsynced log tail and all staged (uncommitted) pages are
+  // gone. Armed fault hooks then shape the surviving log tail.
+  void Crash();
+
+  // Fault-injection hooks (model a disk whose final write never fully hit the
+  // platter, or a writer that re-appended after an unacknowledged sync).
+  // Effective once, at the next Crash().
+  //
+  // Torn tail: chop `bytes` off the end of the surviving log, leaving the
+  // final record truncated mid-encoding.
+  void ArmTornTailOnCrash(uint32_t bytes) { torn_tail_bytes_ = bytes; }
+  // Duplicate tail: re-append a copy of the most recent durable append (a
+  // whole record), as a writer that crashed between append and ack would on
+  // retry.
+  void ArmDuplicateTailOnCrash() { duplicate_tail_ = true; }
+
+  // --- Telemetry -------------------------------------------------------------
+  uint64_t syncs() const { return syncs_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t crashes() const { return crashes_; }
+  size_t page_bytes() const;
+  NodeId owner() const { return owner_; }
+
+ private:
+  void ChargeWrite(size_t bytes);
+  void ChargeRead(size_t bytes);
+  void ChargeSync();
+
+  Simulation* sim_;
+  NodeId owner_;
+
+  Bytes log_;                     // full contents, including unsynced tail
+  size_t durable_log_size_ = 0;   // crash-durable prefix
+  size_t last_append_offset_ = 0; // start of the most recent append
+  size_t last_append_size_ = 0;
+
+  std::map<uint64_t, Bytes> pages_;  // committed
+  Bytes header_;                     // committed
+  std::map<uint64_t, Bytes> staged_pages_;
+  Bytes staged_header_;
+  bool header_staged_ = false;
+
+  uint32_t torn_tail_bytes_ = 0;
+  bool duplicate_tail_ = false;
+
+  uint64_t syncs_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t crashes_ = 0;
+};
+
+}  // namespace bftbase
+
+#endif  // SRC_SIM_STORAGE_H_

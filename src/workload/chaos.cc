@@ -531,6 +531,9 @@ ChaosRunResult RunChaosSchedule(const ChaosOptions& options,
   params.config.checkpoint_interval = 16;
   params.config.log_window = 32;
   params.seed = options.seed;
+  // Crash faults go through the real recovery path: volatile state is wiped
+  // and the replica restarts from its durable checkpoint + WAL tail.
+  params.durable_storage = true;
   auto group = MakeBasefsGroup(
       params,
       {FsVendor::kLinear, FsVendor::kTree, FsVendor::kLog, FsVendor::kLinear},

@@ -113,8 +113,41 @@ void ArmFaultSchedule(ServiceGroup& group,
       switch (event.kind) {
         case FaultKind::kCrashRestart:
           sim.network().Isolate(event.replica);
-          sim.After(Simulation::kNoOwner, event.duration,
-                    [&sim, r = event.replica] { sim.network().Heal(r); });
+          if (group.durable()) {
+            // Real crash: volatile state dies; restart reloads the durable
+            // checkpoint and replays the WAL. The storage fault is shaped
+            // deterministically from the event itself (no RNG draws, so the
+            // shrinker can replay any subset of a schedule bit-identically):
+            // one third of crashes land clean, one third tear the final
+            // record, one third duplicate it.
+            {
+              uint64_t mix =
+                  static_cast<uint64_t>(event.at) * 0x9e3779b97f4a7c15ULL +
+                  static_cast<uint64_t>(event.replica);
+              StorageDevice* dev = group.storage(event.replica);
+              switch (mix % 3) {
+                case 1:
+                  dev->ArmTornTailOnCrash(1 + static_cast<uint32_t>(mix % 13));
+                  break;
+                case 2:
+                  dev->ArmDuplicateTailOnCrash();
+                  break;
+                default:
+                  break;
+              }
+              group.replica(event.replica).Crash();
+            }
+            sim.After(Simulation::kNoOwner, event.duration,
+                      [&group, &sim, r = event.replica] {
+                        sim.network().Heal(r);
+                        group.replica(r).RestartFromStorage();
+                      });
+          } else {
+            // Legacy model (no durable storage): the replica keeps its
+            // in-memory state and is merely unreachable for the duration.
+            sim.After(Simulation::kNoOwner, event.duration,
+                      [&sim, r = event.replica] { sim.network().Heal(r); });
+          }
           break;
         case FaultKind::kCorruptState: {
           auto* wrapper = dynamic_cast<FsConformanceWrapper*>(

@@ -126,20 +126,24 @@ TEST(KernelWitness, ChaosSmokeSeedsIdenticalAcrossKernels) {
 //
 // Pin history:
 //   70d3242  176d678d1243 / 2663 events  (pre event-kernel overhaul)
-//   current  20082fd2dcc5 / 2966 events  — the Byzantine client-view fixes
+//   02b0a3b  20082fd2dcc5 / 2966 events  — the Byzantine client-view fixes
 //     (f+1 view attestations, fallback vote preservation, eager retransmit
 //     on digest-quorum-without-result) change client behaviour under the
 //     injected faults, so the fault-schedule trace legitimately shifted.
-//     Both kernels and both crypto modes agree on the new digest; the
-//     fault-free wall-clock pins below are unchanged, which isolates the
-//     shift to the client protocol fixes.
+//   current  310c19ab264e / 2966 events  — durable replica state: chaos
+//     crash/restart and proactive recovery now reboot through the real
+//     restart-from-disk path (checkpoint page load + WAL-tail replay), and
+//     replicas persist prepared certificates, so the post-fault message
+//     interleaving legitimately shifted. The event count is unchanged and
+//     both kernels agree on the new digest; the fault-free wall-clock pins
+//     below are untouched, which isolates the shift to the recovery path.
 TEST(KernelWitness, ChaosSeed1MatchesPin) {
   ChaosOptions options;
   options.seed = 1;
   for (bool scale : {true, false}) {
     ScopedKernel kernel(scale);
     ChaosRunResult r = RunChaos(options);
-    EXPECT_EQ(r.trace_digest.Hex(), "20082fd2dcc5")
+    EXPECT_EQ(r.trace_digest.Hex(), "310c19ab264e")
         << (scale ? "scale" : "legacy") << " kernel";
     EXPECT_EQ(r.trace_events, 2966u)
         << (scale ? "scale" : "legacy") << " kernel";

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "src/base/kv_adapter.h"
+#include "src/base/replica_service.h"
 #include "src/base/state_transfer.h"
 #include "src/sim/network.h"
+#include "src/sim/storage.h"
 
 namespace bftbase {
 namespace {
@@ -218,6 +220,81 @@ TEST(StateTransfer, FetchEverythingModeTransfersAllLeaves) {
   st.Start(70, root);
   ASSERT_TRUE(h.sim().RunUntilTrue([&] { return done; }, 120 * kSecond));
   EXPECT_EQ(st.leaves_fetched(), kSlots + 1);
+}
+
+// Regression (state transfer racing recovery): a replica that crashes while
+// a state transfer is in flight must come back from its last durable
+// checkpoint with the transfer aborted — never resuming a half-applied
+// partition set. The half-fetched leaves were volatile; the durable root
+// must verify against the checkpoint that was actually committed to disk.
+TEST(StateTransfer, CrashMidTransferDoesNotResumeHalfApplied) {
+  Simulation sim(11);
+  StorageDevice dev(&sim, 0);
+  KvAdapter adapter(&sim, 32);
+  ReplicaService::Options options;
+  options.storage = &dev;
+  Config config;
+  ReplicaService svc(&sim, config, 0, &adapter, options);
+
+  // Durable state: slots 0..4 at "old", checkpointed (and persisted) at 8.
+  for (SeqNum seq = 1; seq <= 5; ++seq) {
+    Bytes nondet = ReplicaService::EncodeNondet(seq * 1000);
+    Bytes op =
+        KvAdapter::EncodeSet(static_cast<uint32_t>(seq - 1), ToBytes("old"));
+    svc.Execute(op, 100, nondet, false);
+    svc.LogBatch(seq, BytesView(nondet.data(), nondet.size()),
+                 {ServiceInterface::ExecutedRequest{100, seq, op}});
+  }
+  Digest durable_root = svc.TakeCheckpoint(8);
+
+  // A peer far ahead: same prefix plus five more slots at "new", seq 16.
+  Simulation peer_sim(12);
+  KvAdapter peer_adapter(&peer_sim, 32);
+  ReplicaService peer(&peer_sim, config, 1, &peer_adapter);
+  for (SeqNum seq = 1; seq <= 5; ++seq) {
+    peer.Execute(
+        KvAdapter::EncodeSet(static_cast<uint32_t>(seq - 1), ToBytes("old")),
+        100, ReplicaService::EncodeNondet(seq * 1000), false);
+  }
+  for (uint32_t slot = 5; slot < 10; ++slot) {
+    peer.Execute(KvAdapter::EncodeSet(slot, ToBytes("new")), 100,
+                 ReplicaService::EncodeNondet(20000 + slot), false);
+  }
+  Digest target_root = peer.TakeCheckpoint(16);
+
+  // Route fetches to the peer, but deliver only the first two replies — the
+  // transfer stalls with part of the target state already applied.
+  int replies_delivered = 0;
+  peer.SetStateSender([&](NodeId, const Bytes& payload) {
+    if (++replies_delivered <= 2) {
+      svc.HandleStateMessage(1, payload);
+    }
+  });
+  svc.SetStateSender([&](NodeId, const Bytes& payload) {
+    peer.HandleStateMessage(0, payload);
+  });
+  bool done = false;
+  svc.SetStateTransferDone([&](SeqNum, const Digest&) { done = true; });
+  svc.StartStateTransfer(16, target_root);
+  sim.RunUntil(sim.Now() + kSecond);
+  ASSERT_FALSE(done);
+  ASSERT_TRUE(svc.InStateTransfer());
+
+  // Crash mid-transfer; restart from disk.
+  svc.OnCrash();
+  auto info = svc.RecoverFromStorage();
+  ASSERT_TRUE(info.ok);  // durable state digest-verified on load
+  EXPECT_FALSE(svc.InStateTransfer());  // the transfer did not resume
+  EXPECT_EQ(info.checkpoint_seq, 8u);
+  EXPECT_EQ(info.checkpoint_root, durable_root);
+  // No half-applied leaves: the recovered state is exactly the durable
+  // checkpoint — target-only slots are empty again.
+  for (uint32_t slot = 5; slot < 10; ++slot) {
+    EXPECT_TRUE(adapter.GetObj(slot).empty()) << "slot " << slot;
+  }
+  // Re-checkpoint the live state (roots are seq-independent): the adapter
+  // and protocol state hash back to exactly the durable root.
+  EXPECT_EQ(svc.TakeCheckpoint(9), durable_root);
 }
 
 }  // namespace
