@@ -123,15 +123,27 @@ Digest ReplicaService::TakeCheckpoint(SeqNum seq) {
   if (storage_ != nullptr) {
     // Persist order matters: commit the checkpoint pages first, THEN cut the
     // WAL. A crash between the two leaves both the checkpoint and the full
-    // log on disk; replay skips records with seq <= the header's.
+    // log on disk; replay skips records with seq <= the header's. This local
+    // checkpoint is not yet provably stable, so the cut only drops batch
+    // records — prepared certificates survive until a stable proof at >=
+    // their seq is durable (see WriteAheadLog::TruncateThrough).
     PersistCheckpoint(seq, root, cm_.last_checkpoint_updates());
-    wal_->TruncateThrough(seq);
+    wal_->TruncateThrough(durable_checkpoint_seq_);
   }
   return root;
 }
 
 void ReplicaService::DiscardCheckpointsBefore(SeqNum seq) {
   cm_.DiscardBefore(seq);
+  if (wal_ != nullptr) {
+    // The checkpoint at `seq` just became stable and its proof was logged
+    // (LogStableProof runs before this hook) — prune the prepared
+    // certificates the proof now covers, mirroring the replica's
+    // prepared_certs_ erase. Batches are still cut at the durable header's
+    // seq, which may lag `seq` when the stable checkpoint was adopted from
+    // the group and our own pages have not caught up yet.
+    wal_->TruncateThrough(durable_checkpoint_seq_);
+  }
 }
 
 void ReplicaService::HandleStateMessage(NodeId from, BytesView payload) {
@@ -161,6 +173,7 @@ void ReplicaService::PersistCheckpoint(SeqNum seq, const Digest& root,
   header.PutU64(last_agreed_timestamp_);
   storage_->StageHeader(header.Take());
   storage_->CommitPages();
+  durable_checkpoint_seq_ = seq;
 }
 
 void ReplicaService::LogBatch(SeqNum seq, BytesView nondet,
@@ -216,6 +229,7 @@ void ReplicaService::OnCrash() {
   recovery_disk_.clear();
   pending_protocol_state_.clear();
   last_agreed_timestamp_ = 0;
+  durable_checkpoint_seq_ = 0;  // re-learned from the header on recovery
   if (storage_ != nullptr) {
     storage_->Crash();
   }
@@ -271,6 +285,7 @@ ServiceInterface::RecoveryInfo ReplicaService::RecoverFromStorage() {
       return info;
     }
     last_agreed_timestamp_ = agreed_ts;
+    durable_checkpoint_seq_ = seq;
     info.last_seq = seq;
   }
   SimTime replay_start = sim_->CurrentHandlerFinishTime();
@@ -329,7 +344,11 @@ ServiceInterface::RecoveryInfo ReplicaService::RecoverFromStorage() {
   info.last_seq = applied;
   info.view = view;
   for (auto& [seq, cert] : prepared) {
-    if (seq > info.checkpoint_seq) {
+    // A certificate stays useful past the local checkpoint: until a stable
+    // proof at >= its seq is durable, the replica's VIEW-CHANGE messages can
+    // only claim the (possibly older) proofed checkpoint and must supply the
+    // certificates above it. Only certs the restored proof covers are dead.
+    if (seq > info.stable_proof_seq) {
       info.prepared_certs.emplace_back(seq, std::move(cert));
     }
   }

@@ -108,6 +108,11 @@ class ReplicaService : public ServiceInterface {
   uint64_t last_agreed_timestamp_ = 0;
   StorageDevice* storage_ = nullptr;
   std::unique_ptr<WriteAheadLog> wal_;
+  // Seq of the checkpoint header currently committed to the page store: the
+  // WAL's batch-truncation point. May lag the protocol's stable checkpoint
+  // (stable adopted from the group before our pages caught up) or lead it
+  // (local checkpoint taken, 2f+1 votes still outstanding).
+  SeqNum durable_checkpoint_seq_ = 0;
 
   // Proactive-recovery "disk": the abstract state saved before the reboot.
   struct SavedLeaf {

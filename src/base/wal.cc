@@ -103,12 +103,16 @@ WriteAheadLog::ScanResult WriteAheadLog::Recover() {
 }
 
 void WriteAheadLog::TruncateThrough(SeqNum checkpoint_seq) {
+  // Note: the rewrite covers buffered (unsynced) appends too — LogRewrite is
+  // durable on return, so TruncateThrough implies a sync of anything
+  // appended since the last Sync(). Call sites rely on this being at most a
+  // no-op strengthening (every Append today is followed by a Sync).
   Bytes log = storage_->ReadLog();
   ScanResult scan = Decode(BytesView(log.data(), log.size()));
 
   // Keep only what recovery still needs: the latest installed view, the
-  // latest stable-checkpoint proof, and the batches plus prepared
-  // certificates past the durable checkpoint.
+  // latest stable-checkpoint proof, the batches past the durable checkpoint,
+  // and the prepared certificates past the latest durable stable proof.
   const Record* latest_view = nullptr;
   const Record* latest_proof = nullptr;
   for (const Record& record : scan.records) {
@@ -121,6 +125,16 @@ void WriteAheadLog::TruncateThrough(SeqNum checkpoint_seq) {
       latest_proof = &record;
     }
   }
+  // A local checkpoint covers executed state, so batch records at or below
+  // it are dead — but it is NOT yet provably stable, and the replica's
+  // provable stable checkpoint (what its VIEW-CHANGE messages can claim) may
+  // lag it until 2f+1 CHECKPOINT votes arrive. Prepared certificates in that
+  // gap must survive a crash, or a restarted replica could neither prove the
+  // newer checkpoint nor supply the certificates for the sequence numbers it
+  // covers — and a committed batch's certificate could vanish from every
+  // view-change quorum. So certificates are only dropped once a durable
+  // kStableProof at >= their seq exists.
+  const SeqNum prepared_cut = latest_proof != nullptr ? latest_proof->seq : 0;
 
   Bytes rewritten;
   uint64_t chain = 0;
@@ -139,8 +153,10 @@ void WriteAheadLog::TruncateThrough(SeqNum checkpoint_seq) {
     append(*latest_proof);
   }
   for (const Record& record : scan.records) {
-    if ((record.type == kBatch || record.type == kPrepared) &&
-        record.seq > checkpoint_seq) {
+    if (record.type == kBatch && record.seq > checkpoint_seq) {
+      append(record);
+    }
+    if (record.type == kPrepared && record.seq > prepared_cut) {
       append(record);
     }
   }

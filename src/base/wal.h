@@ -71,9 +71,14 @@ class WriteAheadLog {
   void Sync();
 
   // Truncate-at-checkpoint: rewrites the log to only the records still
-  // needed after a durable checkpoint at `checkpoint_seq` — batch and
-  // prepared-certificate records with seq > checkpoint_seq, plus the latest
-  // view mark and the latest stable-checkpoint proof. Durable on return.
+  // needed after a durable checkpoint at `checkpoint_seq` — batch records
+  // with seq > checkpoint_seq, prepared-certificate records with seq above
+  // the latest durable stable proof (a local checkpoint is not yet provably
+  // stable, so the certificates it covers must outlive it until a
+  // kStableProof at >= their seq is on disk), plus the latest view mark and
+  // that latest stable-checkpoint proof. Durable on return; this implies a
+  // sync of any still-buffered appends, which are carried into the rewritten
+  // image.
   void TruncateThrough(SeqNum checkpoint_seq);
 
   // Reads the device log back (post-restart), decodes it, and repairs the

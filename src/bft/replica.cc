@@ -503,6 +503,11 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
   const PrePrepareMsg& pp = *entry.pre_prepare;
   const bool durable = service_->HasDurableStorage();
   std::vector<ServiceInterface::ExecutedRequest> executed_requests;
+  struct PendingReply {
+    RequestMsg request;
+    Bytes result;
+  };
+  std::vector<PendingReply> replies;
   for (const Bytes& req_wire : pp.requests) {
     // Envelopes were authenticated when the pre-prepare was accepted.
     auto req_env = Channel::ParseUnverified(req_wire);
@@ -526,19 +531,25 @@ void Replica::ExecuteBatch(SeqNum seq, LogEntry& entry) {
           request->client, request->timestamp, request->op});
     }
     sim_->metrics().Inc(kRequestsExecuted, id_);
-    SendReply(*request, std::move(result), /*tentative=*/false);
+    replies.push_back(PendingReply{std::move(*request), std::move(result)});
+  }
+  if (durable) {
+    // Every agreed batch is logged — including null/empty ones — so the
+    // WAL's sequence tracking stays aligned with the protocol's. Write-ahead
+    // discipline: the batch is durable (appended AND synced) before any
+    // reply leaves, so a reply a client acts on can never name execution the
+    // replica would forget across a crash.
+    service_->LogBatch(seq, BytesView(pp.nondet.data(), pp.nondet.size()),
+                       executed_requests);
+  }
+  for (PendingReply& pending : replies) {
+    SendReply(pending.request, std::move(pending.result), /*tentative=*/false);
     // Hot path: backups usually have no pending entry for this request (only
     // the primary queued it), so skip re-hashing the request just to erase
     // nothing.
     if (!pending_requests_.empty()) {
-      pending_requests_.erase(request->ComputeDigest());
+      pending_requests_.erase(pending.request.ComputeDigest());
     }
-  }
-  if (durable) {
-    // Every agreed batch is logged — including null/empty ones — so the
-    // WAL's sequence tracking stays aligned with the protocol's.
-    service_->LogBatch(seq, BytesView(pp.nondet.data(), pp.nondet.size()),
-                       executed_requests);
   }
   entry.executed = true;
   last_executed_ = seq;
@@ -1031,8 +1042,13 @@ void Replica::RestartFromStorage() {
   // log. Without this, the prepare this replica contributed before the crash
   // vanishes from view-change quorums, and overlapping crashes could let a
   // NEW-VIEW re-propose a different batch at a committed sequence number.
+  // The lower bound is the PROOFED stable checkpoint, not the local one: a
+  // crash can land after a local checkpoint was persisted but before its
+  // 2f+1 votes arrived, and our VIEW-CHANGE messages can then only claim
+  // proofed_stable_seq_ — certificates in (proofed_stable_seq_, stable_seq_]
+  // are exactly what proves the committed batches in that gap.
   for (const auto& [seq, cert] : info.prepared_certs) {
-    if (seq <= stable_seq_ || seq > stable_seq_ + config_.log_window) {
+    if (seq <= proofed_stable_seq_ || seq > stable_seq_ + config_.log_window) {
       continue;
     }
     Decoder dec(BytesView(cert.data(), cert.size()));

@@ -79,6 +79,14 @@ class Replica : public SimNode {
   ServiceInterface* service() { return service_; }
   // Reply-cache size (regression tests for volatile state across restarts).
   size_t reply_cache_size() const { return reply_cache_.size(); }
+  // Whether a prepared certificate for `seq` is retained — what VIEW-CHANGE
+  // messages draw from (regression tests for durable restarts).
+  bool has_prepared_cert(SeqNum seq) const {
+    return prepared_certs_.count(seq) > 0;
+  }
+  // Provable stable checkpoint (may lag stable_seq() after a restart whose
+  // local checkpoint never gathered 2f+1 votes).
+  SeqNum proofed_stable_seq() const { return proofed_stable_seq_; }
 
   // Registers an observer for protocol transitions (see observer.h). One
   // observer per replica; pass nullptr to detach. Not owned.

@@ -160,9 +160,18 @@ TEST(KernelWitness, WallclockConfigsMatchPreOverhaulPins) {
     uint64_t events;
   };
   // The bench_wallclock --smoke configs (f1_1client, f2_16clients).
+  //
+  // f2_16clients pin history:
+  //   ff902786faa0 / 5176 events — pre write-ahead reply ordering.
+  //   eaf5e0052527 / 5173 events — ExecuteBatch now makes the whole batch
+  //     durable (LogBatch + sync) BEFORE sending any reply, so in a
+  //     multi-request batch every reply departs after ALL the batch's
+  //     execution work instead of interleaved with it. Single-request
+  //     batches are unaffected — the f1_1client pin is untouched, which
+  //     isolates the shift to batched replies.
   const Pin pins[] = {
       {1, 1, 40, 7001, "228d57578ed1", 2918},
-      {2, 16, 5, 7002, "ff902786faa0", 5176},
+      {2, 16, 5, 7002, "eaf5e0052527", 5173},
   };
   for (const Pin& pin : pins) {
     for (bool scale : {true, false}) {

@@ -15,6 +15,8 @@
 #include "src/base/replica_service.h"
 #include "src/base/service_group.h"
 #include "src/base/wal.h"
+#include "src/bft/message.h"
+#include "src/sim/network.h"
 #include "src/sim/storage.h"
 #include "src/util/codec.h"
 #include "src/workload/chaos.h"
@@ -195,6 +197,45 @@ TEST_F(WalTest, TruncateThroughKeepsOnlyWhatRecoveryNeeds) {
   EXPECT_EQ(scan.records[5].seq, 4u);
 }
 
+// Regression: truncation at a LOCAL checkpoint (not yet provably stable)
+// must not drop prepared certificates above the latest durable stable
+// proof. A crash between the local checkpoint and its 2f+1 votes would
+// otherwise leave a replica that can neither prove the newer checkpoint nor
+// supply the certificates for the gap — re-opening the seed-69 scenario
+// where a committed batch's certificate vanishes from every view-change
+// quorum.
+TEST_F(WalTest, TruncatePreservesPreparedCertsUntilStableProofCovers) {
+  Append(WriteAheadLog::kStableProof, 4, "proof4");  // last STABLE checkpoint
+  for (uint64_t seq = 5; seq <= 8; ++seq) {
+    Append(WriteAheadLog::kBatch, seq, "batch" + std::to_string(seq));
+  }
+  Append(WriteAheadLog::kPrepared, 6, "cert6");
+  Append(WriteAheadLog::kPrepared, 8, "cert8");
+  wal_.Sync();
+
+  // Local checkpoint at 8: batches are covered by the checkpoint pages, but
+  // the provable stable checkpoint is still 4 — certs 6 and 8 must survive.
+  wal_.TruncateThrough(8);
+  auto scan = wal_.Recover();
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].type, WriteAheadLog::kStableProof);
+  EXPECT_EQ(scan.records[0].seq, 4u);
+  EXPECT_EQ(scan.records[1].type, WriteAheadLog::kPrepared);
+  EXPECT_EQ(scan.records[1].seq, 6u);
+  EXPECT_EQ(scan.records[2].type, WriteAheadLog::kPrepared);
+  EXPECT_EQ(scan.records[2].seq, 8u);
+
+  // Once the checkpoint at 8 gathers its proof, the certs it covers die on
+  // the next truncation.
+  Append(WriteAheadLog::kStableProof, 8, "proof8");
+  wal_.Sync();
+  wal_.TruncateThrough(8);
+  scan = wal_.Recover();
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].type, WriteAheadLog::kStableProof);
+  EXPECT_EQ(scan.records[0].seq, 8u);
+}
+
 TEST_F(WalTest, TruncateThroughCanEmptyTheLog) {
   Append(WriteAheadLog::kBatch, 1, "old");
   Append(WriteAheadLog::kBatch, 2, "old");
@@ -348,6 +389,40 @@ TEST_F(DurableRecoveryTest, DuplicatedTailAppendRecoversCleanly) {
   EXPECT_EQ(service_.TakeCheckpoint(3), expected_root);
 }
 
+// Regression: a crash in the window between a LOCAL checkpoint (pages
+// persisted, WAL truncated) and that checkpoint's stabilization (2f+1 votes,
+// proof logged) must recover the prepared certificates in the gap
+// (proofed_stable_seq, local_checkpoint_seq] — they are all the restarted
+// replica can offer view changes for those sequence numbers.
+TEST_F(DurableRecoveryTest, CrashBetweenLocalCheckpointAndStabilization) {
+  for (SeqNum seq = 1; seq <= 4; ++seq) {
+    RunBatch(seq, static_cast<uint32_t>(seq), "v" + std::to_string(seq));
+  }
+  service_.TakeCheckpoint(4);
+  service_.LogStableProof(4, ToBytes("proof4"));  // checkpoint 4 stabilized
+  service_.DiscardCheckpointsBefore(4);
+  for (SeqNum seq = 5; seq <= 8; ++seq) {
+    RunBatch(seq, static_cast<uint32_t>(seq), "v" + std::to_string(seq));
+  }
+  service_.LogPrepared(6, ToBytes("cert6"));
+  service_.LogPrepared(8, ToBytes("cert8"));
+  // Local checkpoint at 8; the crash lands before its votes arrive, so no
+  // stable proof at 8 ever reaches the disk.
+  service_.TakeCheckpoint(8);
+
+  service_.OnCrash();
+  auto info = service_.RecoverFromStorage();
+  ASSERT_TRUE(info.ok);
+  EXPECT_EQ(info.checkpoint_seq, 8u);
+  EXPECT_EQ(info.stable_proof_seq, 4u);
+  EXPECT_EQ(ToString(info.stable_proof), "proof4");
+  ASSERT_EQ(info.prepared_certs.size(), 2u);
+  EXPECT_EQ(info.prepared_certs[0].first, 6u);
+  EXPECT_EQ(ToString(info.prepared_certs[0].second), "cert6");
+  EXPECT_EQ(info.prepared_certs[1].first, 8u);
+  EXPECT_EQ(ToString(info.prepared_certs[1].second), "cert8");
+}
+
 // --- Group level: restart-from-disk ------------------------------------------
 
 ServiceGroup::Params DurableParams(uint64_t seed = 7) {
@@ -408,6 +483,60 @@ TEST(DurableGroup, CrashedReplicaRestartsFromDiskAndCatchesUp) {
     EXPECT_EQ(ToString(group->adapter(2)->GetObj(slot)),
               ToString(group->adapter(0)->GetObj(slot)));
   }
+}
+
+// Regression: crash-restart in the local-checkpoint-not-yet-stable window,
+// at the group level. Replica 2 takes (and persists) its local checkpoint at
+// 16 but never sees the CHECKPOINT votes for it, so its provable stable
+// checkpoint stays 8. After a crash-restart it must still hold the prepared
+// certificates for (8, 16] — its VIEW-CHANGE messages can only claim seq 8,
+// and without those certificates the committed batches in the gap would be
+// unprovable (and, with overlapping restarts elsewhere, could be replaced by
+// null batches in a NEW-VIEW).
+TEST(DurableGroup, RestartKeepsCertsWhenLocalCheckpointOutrunsStability) {
+  auto group = MakeDurableKvGroup(DurableParams());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(i % 4, ToBytes("a"))).ok());
+  }
+  ASSERT_TRUE(group->sim().RunUntilTrue(
+      [&] { return group->replica(2).stable_seq() >= 8; }, 30 * kSecond));
+  ASSERT_EQ(group->replica(2).stable_seq(), 8u);
+
+  // From here on, replica 2 sees no CHECKPOINT votes: its own checkpoint at
+  // 16 persists to disk but never stabilizes.
+  group->sim().network().SetInterceptor(
+      [](NodeId, NodeId to, Bytes& payload) {
+        return !(to == 2 && !payload.empty() &&
+                 payload[0] == static_cast<uint8_t>(MsgType::kCheckpoint));
+      });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(i % 4, ToBytes("b"))).ok());
+  }
+  ASSERT_TRUE(group->sim().RunUntilTrue(
+      [&] { return group->replica(2).last_executed() >= 17; }, 30 * kSecond));
+  ASSERT_EQ(group->replica(2).stable_seq(), 8u);  // still unprovable past 8
+
+  group->replica(2).Crash();
+  group->replica(2).RestartFromStorage();
+
+  // Restarted from the durable local checkpoint, provable only through 8 —
+  // and every committed sequence number in the gap still has its durable
+  // certificate.
+  EXPECT_EQ(group->replica(2).stable_seq(), 16u);
+  EXPECT_EQ(group->replica(2).proofed_stable_seq(), 8u);
+  for (SeqNum seq = 9; seq <= 16; ++seq) {
+    EXPECT_TRUE(group->replica(2).has_prepared_cert(seq)) << "seq " << seq;
+  }
+
+  // Liveness: with the vote suppression lifted the group (and replica 2's
+  // provable checkpoint) advance normally again.
+  group->sim().network().SetInterceptor(nullptr);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(group->Invoke(KvAdapter::EncodeSet(i % 4, ToBytes("c"))).ok());
+  }
+  ASSERT_TRUE(group->sim().RunUntilTrue(
+      [&] { return group->replica(2).proofed_stable_seq() > 16; },
+      30 * kSecond));
 }
 
 // Regression (volatile state surviving restart): the reply cache must be
